@@ -1,0 +1,113 @@
+// Microbenchmarks for the Figure 5 packet-set operations, plus the BDD
+// operation-cache ablation called out in DESIGN.md.
+//
+// The paper implements these operations on BDDs because they are the
+// inner loop of both coverage tracking (markPacket unions) and metric
+// computation (match-set intersections, counting). The benchmarks measure
+// them on realistic operands: unions of hundreds of /24 routes, the
+// shapes that appear in data-center FIBs.
+#include <benchmark/benchmark.h>
+
+#include "packet/packet_set.hpp"
+
+namespace {
+
+using yardstick::bdd::BddManager;
+using yardstick::packet::Field;
+using yardstick::packet::Ipv4Prefix;
+using yardstick::packet::kNumHeaderBits;
+using yardstick::packet::PacketSet;
+
+/// A union of `n` distinct /24 destination prefixes (FIB-like operand).
+PacketSet prefixes(BddManager& mgr, int n, uint32_t base = 0x0a000000u) {
+  PacketSet acc = PacketSet::none(mgr);
+  for (int i = 0; i < n; ++i) {
+    acc = acc.union_with(
+        PacketSet::dst_prefix(mgr, Ipv4Prefix(base + (static_cast<uint32_t>(i) << 8), 24)));
+  }
+  return acc;
+}
+
+void BM_FromRulePrefix(benchmark::State& state) {
+  BddManager mgr(kNumHeaderBits);
+  uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PacketSet::dst_prefix(mgr, Ipv4Prefix(0x0a000000u + (i++ << 8), 24)));
+  }
+}
+BENCHMARK(BM_FromRulePrefix);
+
+void BM_Union(benchmark::State& state) {
+  BddManager mgr(kNumHeaderBits);
+  const PacketSet a = prefixes(mgr, static_cast<int>(state.range(0)));
+  const PacketSet b = prefixes(mgr, static_cast<int>(state.range(0)), 0x0b000000u);
+  for (auto _ : state) benchmark::DoNotOptimize(a.union_with(b));
+  state.SetLabel(std::to_string(state.range(0)) + " prefixes/operand");
+}
+BENCHMARK(BM_Union)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_Intersect(benchmark::State& state) {
+  BddManager mgr(kNumHeaderBits);
+  const PacketSet a = prefixes(mgr, static_cast<int>(state.range(0)));
+  const PacketSet b =
+      PacketSet::dst_prefix(mgr, Ipv4Prefix::parse("10.0.0.0/9"));
+  for (auto _ : state) benchmark::DoNotOptimize(a.intersect(b));
+}
+BENCHMARK(BM_Intersect)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_Negate(benchmark::State& state) {
+  BddManager mgr(kNumHeaderBits);
+  const PacketSet a = prefixes(mgr, static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(a.negate());
+}
+BENCHMARK(BM_Negate)->Arg(128);
+
+void BM_Equal(benchmark::State& state) {
+  BddManager mgr(kNumHeaderBits);
+  const PacketSet a = prefixes(mgr, 256);
+  const PacketSet b = prefixes(mgr, 256);
+  for (auto _ : state) benchmark::DoNotOptimize(a.equal(b));  // O(1): canonical form
+}
+BENCHMARK(BM_Equal);
+
+void BM_Count(benchmark::State& state) {
+  BddManager mgr(kNumHeaderBits);
+  const PacketSet a = prefixes(mgr, static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(a.count());
+}
+BENCHMARK(BM_Count)->Arg(16)->Arg(1024);
+
+void BM_DisjointMatchSetWalk(benchmark::State& state) {
+  // The §5.2 step-1 pattern: walk an ordered table, carving each match
+  // field against everything claimed so far.
+  BddManager mgr(kNumHeaderBits);
+  const int rules = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    PacketSet claimed = PacketSet::none(mgr);
+    for (int i = 0; i < rules; ++i) {
+      const PacketSet field =
+          PacketSet::dst_prefix(mgr, Ipv4Prefix(0x0a000000u + (static_cast<uint32_t>(i) << 8), 24));
+      benchmark::DoNotOptimize(field.minus(claimed));
+      claimed = claimed.union_with(field);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * rules);
+}
+BENCHMARK(BM_DisjointMatchSetWalk)->Arg(128)->Arg(1024);
+
+void BM_UnionCacheAblation(benchmark::State& state) {
+  // Design-choice ablation: the same FIB-style union workload with the
+  // BDD operation cache disabled.
+  BddManager mgr(kNumHeaderBits);
+  mgr.set_cache_enabled(state.range(0) == 0);
+  const PacketSet a = prefixes(mgr, 256);
+  const PacketSet b = prefixes(mgr, 256, 0x0b000000u);
+  for (auto _ : state) benchmark::DoNotOptimize(a.union_with(b));
+  state.SetLabel(state.range(0) == 0 ? "cache on" : "cache OFF");
+}
+BENCHMARK(BM_UnionCacheAblation)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace yardstick::benchutil {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Fat-tree arities to sweep: from YS_FATTREE_KS ("4 8 12"), else default.
+/// The paper sweeps k=8..88 (up to 9680 routers, §8); defaults here keep
+/// the full bench suite minutes-scale — export YS_FATTREE_KS to go larger.
+inline std::vector<int> fat_tree_sweep(std::vector<int> fallback = {4, 8, 12, 16}) {
+  const char* env = std::getenv("YS_FATTREE_KS");
+  if (env == nullptr) return fallback;
+  std::vector<int> ks;
+  std::istringstream in(env);
+  int k = 0;
+  while (in >> k) ks.push_back(k);
+  return ks.empty() ? fallback : ks;
+}
+
+/// Wall-clock budget for the path-coverage sweep (seconds), from
+/// YS_PATH_BUDGET_S; the paper used a 1-hour timeout (Fig. 9).
+inline double path_budget_seconds(double fallback = 60.0) {
+  const char* env = std::getenv("YS_PATH_BUDGET_S");
+  return env == nullptr ? fallback : std::atof(env);
+}
+
+}  // namespace yardstick::benchutil

@@ -1,0 +1,393 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace yardstick::bdd {
+
+namespace {
+constexpr size_t kInitialUniqueCapacity = 1 << 16;
+constexpr size_t kOpCacheSize = 1 << 20;
+
+// Truth table for each binary op, indexed by (a_bit << 1) | b_bit.
+constexpr uint8_t kTruthTable[4] = {
+    0b1000,  // And: true only at (1,1)
+    0b1110,  // Or: true except (0,0)
+    0b0110,  // Xor
+    0b0010,  // Diff: true only at (1,0)
+};
+
+[[maybe_unused]] bool eval_op(BddManager::Op op, bool a, bool b) {
+  const unsigned idx = (static_cast<unsigned>(a) << 1) | static_cast<unsigned>(b);
+  return (kTruthTable[static_cast<unsigned>(op)] >> idx) & 1u;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Bdd handle operators
+// ---------------------------------------------------------------------------
+
+Bdd Bdd::operator&(const Bdd& o) const {
+  assert(mgr_ == o.mgr_ && mgr_ != nullptr);
+  return {mgr_, mgr_->apply(BddManager::Op::And, idx_, o.idx_)};
+}
+
+Bdd Bdd::operator|(const Bdd& o) const {
+  assert(mgr_ == o.mgr_ && mgr_ != nullptr);
+  return {mgr_, mgr_->apply(BddManager::Op::Or, idx_, o.idx_)};
+}
+
+Bdd Bdd::operator^(const Bdd& o) const {
+  assert(mgr_ == o.mgr_ && mgr_ != nullptr);
+  return {mgr_, mgr_->apply(BddManager::Op::Xor, idx_, o.idx_)};
+}
+
+Bdd Bdd::operator-(const Bdd& o) const {
+  assert(mgr_ == o.mgr_ && mgr_ != nullptr);
+  return {mgr_, mgr_->apply(BddManager::Op::Diff, idx_, o.idx_)};
+}
+
+Bdd Bdd::operator!() const {
+  assert(mgr_ != nullptr);
+  return {mgr_, mgr_->negate(idx_)};
+}
+
+bool Bdd::implies(const Bdd& o) const {
+  assert(mgr_ == o.mgr_ && mgr_ != nullptr);
+  return mgr_->apply(BddManager::Op::Diff, idx_, o.idx_) == kFalse;
+}
+
+Uint128 Bdd::count() const {
+  assert(mgr_ != nullptr);
+  return mgr_->count_index(idx_);
+}
+
+size_t Bdd::node_count() const {
+  assert(mgr_ != nullptr);
+  std::unordered_set<NodeIndex> seen;
+  std::vector<NodeIndex> stack{idx_};
+  while (!stack.empty()) {
+    const NodeIndex n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second || n <= kTrue) continue;
+    stack.push_back(mgr_->node(n).low);
+    stack.push_back(mgr_->node(n).high);
+  }
+  return seen.size();
+}
+
+// ---------------------------------------------------------------------------
+// Manager
+// ---------------------------------------------------------------------------
+
+BddManager::BddManager(Var num_vars) : num_vars_(num_vars) {
+  if (num_vars > 120) {
+    throw std::invalid_argument("BddManager supports at most 120 variables");
+  }
+  nodes_.reserve(kInitialUniqueCapacity);
+  // Terminals occupy indices 0 and 1; their var is a sentinel past the end.
+  nodes_.push_back({num_vars_, kFalse, kFalse});
+  nodes_.push_back({num_vars_, kTrue, kTrue});
+  unique_table_.assign(kInitialUniqueCapacity, kEmptySlot);
+  unique_mask_ = kInitialUniqueCapacity - 1;
+  op_cache_.assign(kOpCacheSize, {});
+  op_cache_mask_ = kOpCacheSize - 1;
+}
+
+uint64_t BddManager::hash_triple(Var v, NodeIndex lo, NodeIndex hi) {
+  uint64_t h = static_cast<uint64_t>(v) * 0x9e3779b97f4a7c15ULL;
+  h ^= (static_cast<uint64_t>(lo) + 0x7f4a7c15U) * 0xbf58476d1ce4e5b9ULL;
+  h ^= (static_cast<uint64_t>(hi) + 0x1ce4e5b9U) * 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+void BddManager::grow_unique_table() {
+  const size_t new_capacity = unique_table_.size() * 2;
+  std::vector<uint32_t> fresh(new_capacity, kEmptySlot);
+  const uint64_t mask = new_capacity - 1;
+  for (const uint32_t idx : unique_table_) {
+    if (idx == kEmptySlot) continue;
+    const BddNode& n = nodes_[idx];
+    uint64_t slot = hash_triple(n.var, n.low, n.high) & mask;
+    while (fresh[slot] != kEmptySlot) slot = (slot + 1) & mask;
+    fresh[slot] = idx;
+  }
+  unique_table_ = std::move(fresh);
+  unique_mask_ = mask;
+}
+
+NodeIndex BddManager::make(Var v, NodeIndex low, NodeIndex high) {
+  if (low == high) return low;  // reduction rule
+  uint64_t slot = hash_triple(v, low, high) & unique_mask_;
+  while (true) {
+    const uint32_t occupant = unique_table_[slot];
+    if (occupant == kEmptySlot) break;
+    const BddNode& n = nodes_[occupant];
+    if (n.var == v && n.low == low && n.high == high) return occupant;
+    slot = (slot + 1) & unique_mask_;
+  }
+  const NodeIndex fresh = static_cast<NodeIndex>(nodes_.size());
+  nodes_.push_back({v, low, high});
+  unique_table_[slot] = fresh;
+  // Resize at 3/4 load to keep probe chains short.
+  if (nodes_.size() * 4 > unique_table_.size() * 3) grow_unique_table();
+  return fresh;
+}
+
+Bdd BddManager::var(Var v) {
+  assert(v < num_vars_);
+  return {this, make(v, kFalse, kTrue)};
+}
+
+Bdd BddManager::nvar(Var v) {
+  assert(v < num_vars_);
+  return {this, make(v, kTrue, kFalse)};
+}
+
+Bdd BddManager::cube(std::span<const Var> vars, const std::vector<bool>& bits) {
+  assert(vars.size() == bits.size());
+  // Build bottom-up in descending variable order for linear-time construction.
+  std::vector<std::pair<Var, bool>> sorted;
+  sorted.reserve(vars.size());
+  for (size_t i = 0; i < vars.size(); ++i) sorted.emplace_back(vars[i], bits[i]);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  NodeIndex acc = kTrue;
+  for (const auto& [v, bit] : sorted) {
+    acc = bit ? make(v, kFalse, acc) : make(v, acc, kFalse);
+  }
+  return {this, acc};
+}
+
+NodeIndex BddManager::apply(Op op, NodeIndex a, NodeIndex b) {
+  return apply_rec(op, a, b);
+}
+
+NodeIndex BddManager::apply_rec(Op op, NodeIndex a, NodeIndex b) {
+  // Terminal shortcuts.
+  switch (op) {
+    case Op::And:
+      if (a == kFalse || b == kFalse) return kFalse;
+      if (a == kTrue) return b;
+      if (b == kTrue) return a;
+      if (a == b) return a;
+      if (a > b) std::swap(a, b);  // commutative: canonicalize for cache
+      break;
+    case Op::Or:
+      if (a == kTrue || b == kTrue) return kTrue;
+      if (a == kFalse) return b;
+      if (b == kFalse) return a;
+      if (a == b) return a;
+      if (a > b) std::swap(a, b);
+      break;
+    case Op::Xor:
+      if (a == b) return kFalse;
+      if (a == kFalse) return b;
+      if (b == kFalse) return a;
+      if (a > b) std::swap(a, b);
+      break;
+    case Op::Diff:
+      if (a == kFalse || b == kTrue) return kFalse;
+      if (a == b) return kFalse;
+      if (b == kFalse) return a;
+      break;
+  }
+
+  // Injective packing: op in bits 62-63, a in bits 31-61, b in bits 0-30.
+  // Node indices stay far below 2^31 in practice; assert in debug builds.
+  assert(a < (1u << 31) && b < (1u << 31));
+  const uint64_t key = (static_cast<uint64_t>(op) << 62) |
+                       (static_cast<uint64_t>(a) << 31) | static_cast<uint64_t>(b);
+  const uint64_t slot =
+      (key * 0x9e3779b97f4a7c15ULL >> 32) & op_cache_mask_;
+  if (cache_enabled_) {
+    const CacheEntry& e = op_cache_[slot];
+    if (e.key == key) {
+      ++cache_stats_.hits;
+      return e.result;
+    }
+    ++cache_stats_.misses;
+  }
+
+  const Var la = level(a);
+  const Var lb = level(b);
+  const Var top = la < lb ? la : lb;
+  const NodeIndex a_low = la == top ? nodes_[a].low : a;
+  const NodeIndex a_high = la == top ? nodes_[a].high : a;
+  const NodeIndex b_low = lb == top ? nodes_[b].low : b;
+  const NodeIndex b_high = lb == top ? nodes_[b].high : b;
+
+  const NodeIndex low = apply_rec(op, a_low, b_low);
+  const NodeIndex high = apply_rec(op, a_high, b_high);
+  const NodeIndex result = make(top, low, high);
+
+  if (cache_enabled_) op_cache_[slot] = {key, result};
+  return result;
+}
+
+Uint128 BddManager::count_index(NodeIndex a) {
+  if (count_memo_.size() < nodes_.size()) {
+    count_memo_.resize(nodes_.size(), 0);
+    count_memo_valid_.resize(nodes_.size(), false);
+  }
+  // Iterative post-order to avoid deep recursion on wide header spaces.
+  // c(n) = c(low)*2^(level(low)-level(n)-1) + c(high)*2^(level(high)-level(n)-1)
+  // with c(false)=0, c(true)=1; final count scales by 2^level(root).
+  struct Frame {
+    NodeIndex n;
+    bool expanded;
+  };
+  std::vector<Frame> stack{{a, false}};
+  while (!stack.empty()) {
+    auto [n, expanded] = stack.back();
+    stack.pop_back();
+    if (n == kFalse || n == kTrue) continue;
+    if (count_memo_valid_[n]) continue;
+    const BddNode& nd = nodes_[n];
+    if (!expanded) {
+      stack.push_back({n, true});
+      stack.push_back({nd.low, false});
+      stack.push_back({nd.high, false});
+      continue;
+    }
+    const auto sub = [&](NodeIndex child) -> Uint128 {
+      Uint128 c;
+      if (child == kFalse) {
+        c = 0;
+      } else if (child == kTrue) {
+        c = 1;
+      } else {
+        c = count_memo_[child];
+      }
+      return c << (level(child) - nd.var - 1);
+    };
+    count_memo_[n] = sub(nd.low) + sub(nd.high);
+    count_memo_valid_[n] = true;
+  }
+  Uint128 base;
+  if (a == kFalse) {
+    base = 0;
+  } else if (a == kTrue) {
+    base = 1;
+  } else {
+    base = count_memo_[a];
+  }
+  return base << level(a);
+}
+
+Bdd BddManager::exists(const Bdd& f, const std::vector<bool>& quantified) {
+  assert(f.manager() == this);
+  assert(quantified.size() >= num_vars_);
+  std::vector<NodeIndex> memo(nodes_.size(), kEmptySlot);
+  return {this, exists_rec(f.index(), quantified, memo)};
+}
+
+NodeIndex BddManager::exists_rec(NodeIndex f, const std::vector<bool>& quantified,
+                                 std::vector<NodeIndex>& memo) {
+  if (f <= kTrue) return f;
+  if (memo[f] != kEmptySlot) return memo[f];
+  const BddNode nd = nodes_[f];
+  const NodeIndex low = exists_rec(nd.low, quantified, memo);
+  const NodeIndex high = exists_rec(nd.high, quantified, memo);
+  // Note: make() may grow nodes_, so memo is indexed by the *input* node id,
+  // which is stable. memo may be smaller than nodes_ after growth; only
+  // original nodes are memoized, which is all we look up.
+  const NodeIndex result = quantified[nd.var] ? apply(Op::Or, low, high)
+                                              : make(nd.var, low, high);
+  memo[f] = result;
+  return result;
+}
+
+Bdd BddManager::restrict_var(const Bdd& f, Var v, bool value) {
+  assert(f.manager() == this);
+  std::vector<NodeIndex> memo(nodes_.size(), kEmptySlot);
+  return {this, restrict_rec(f.index(), v, value, memo)};
+}
+
+NodeIndex BddManager::restrict_rec(NodeIndex f, Var v, bool value,
+                                   std::vector<NodeIndex>& memo) {
+  if (f <= kTrue) return f;
+  const BddNode nd = nodes_[f];
+  if (nd.var > v) return f;  // v does not appear below this level
+  if (nd.var == v) return value ? nd.high : nd.low;
+  if (memo[f] != kEmptySlot) return memo[f];
+  const NodeIndex low = restrict_rec(nd.low, v, value, memo);
+  const NodeIndex high = restrict_rec(nd.high, v, value, memo);
+  const NodeIndex result = make(nd.var, low, high);
+  memo[f] = result;
+  return result;
+}
+
+std::vector<bool> BddManager::pick_one(const Bdd& f) {
+  assert(f.manager() == this && !f.is_false());
+  std::vector<bool> assignment(num_vars_, false);
+  NodeIndex n = f.index();
+  while (n > kTrue) {
+    const BddNode& nd = nodes_[n];
+    if (nd.low != kFalse) {
+      assignment[nd.var] = false;
+      n = nd.low;
+    } else {
+      assignment[nd.var] = true;
+      n = nd.high;
+    }
+  }
+  return assignment;
+}
+
+std::vector<Var> BddManager::support(const Bdd& f) {
+  std::vector<bool> present(num_vars_, false);
+  std::unordered_set<NodeIndex> seen;
+  std::vector<NodeIndex> stack{f.index()};
+  while (!stack.empty()) {
+    const NodeIndex n = stack.back();
+    stack.pop_back();
+    if (n <= kTrue || !seen.insert(n).second) continue;
+    present[nodes_[n].var] = true;
+    stack.push_back(nodes_[n].low);
+    stack.push_back(nodes_[n].high);
+  }
+  std::vector<Var> result;
+  for (Var v = 0; v < num_vars_; ++v) {
+    if (present[v]) result.push_back(v);
+  }
+  return result;
+}
+
+bool BddManager::evaluate(const Bdd& f, const std::vector<bool>& assignment) const {
+  assert(assignment.size() >= num_vars_);
+  NodeIndex n = f.index();
+  while (n > kTrue) {
+    const BddNode& nd = nodes_[n];
+    n = assignment[nd.var] ? nd.high : nd.low;
+  }
+  return n == kTrue;
+}
+
+std::string BddManager::to_dot(const Bdd& f) {
+  std::ostringstream out;
+  out << "digraph bdd {\n";
+  out << "  node0 [label=\"0\", shape=box];\n  node1 [label=\"1\", shape=box];\n";
+  std::unordered_set<NodeIndex> seen;
+  std::vector<NodeIndex> stack{f.index()};
+  while (!stack.empty()) {
+    const NodeIndex n = stack.back();
+    stack.pop_back();
+    if (n <= kTrue || !seen.insert(n).second) continue;
+    const BddNode& nd = nodes_[n];
+    out << "  node" << n << " [label=\"x" << nd.var << "\"];\n";
+    out << "  node" << n << " -> node" << nd.low << " [style=dashed];\n";
+    out << "  node" << n << " -> node" << nd.high << ";\n";
+    stack.push_back(nd.low);
+    stack.push_back(nd.high);
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace yardstick::bdd

@@ -1,0 +1,198 @@
+// A from-scratch reduced, ordered binary decision diagram (ROBDD) engine.
+//
+// This is the packet-set substrate for the whole library: every PacketSet
+// operation in the paper's Figure 5 (empty/negate/union/intersect/equal/
+// fromRule/count) lowers onto this engine. The design follows classic
+// BDD-package practice (Brace-Rudell-Bryant):
+//
+//   * nodes live in a single arena, identified by 32-bit indices;
+//   * a hash-consing "unique table" guarantees canonicity, so semantic
+//     equality of packet sets is pointer (index) equality;
+//   * binary boolean operations run through a memoized apply() with a
+//     direct-mapped operation cache;
+//   * model counting is exact over the manager's fixed variable universe,
+//     using 128-bit integers (the header space is 104 bits wide).
+//
+// There is no garbage collection: coverage computation builds a bounded
+// working set of packet sets per network snapshot and the arena is freed
+// wholesale when the manager dies. This mirrors how Yardstick runs (one
+// manager per network snapshot).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bdd/uint128.hpp"
+
+namespace yardstick::bdd {
+
+/// Index of a node in the manager's arena. Indices 0 and 1 are the
+/// constant false/true terminals.
+using NodeIndex = uint32_t;
+
+inline constexpr NodeIndex kFalse = 0;
+inline constexpr NodeIndex kTrue = 1;
+
+/// Boolean variable index; variable 0 is closest to the root.
+using Var = uint32_t;
+
+class BddManager;
+
+/// Value-semantics handle to a BDD rooted at some node of a manager.
+///
+/// Handles are cheap to copy (pointer + index). All boolean operators are
+/// provided; two handles from the same manager compare equal iff they
+/// denote the same boolean function (canonicity of the ROBDD).
+class Bdd {
+ public:
+  Bdd() = default;
+  Bdd(BddManager* mgr, NodeIndex idx) : mgr_(mgr), idx_(idx) {}
+
+  [[nodiscard]] NodeIndex index() const { return idx_; }
+  [[nodiscard]] BddManager* manager() const { return mgr_; }
+  [[nodiscard]] bool is_false() const { return idx_ == kFalse; }
+  [[nodiscard]] bool is_true() const { return idx_ == kTrue; }
+  [[nodiscard]] bool valid() const { return mgr_ != nullptr; }
+
+  Bdd operator&(const Bdd& o) const;
+  Bdd operator|(const Bdd& o) const;
+  Bdd operator^(const Bdd& o) const;
+  /// Set difference: *this AND NOT o.
+  Bdd operator-(const Bdd& o) const;
+  Bdd operator!() const;
+
+  Bdd& operator&=(const Bdd& o) { return *this = *this & o; }
+  Bdd& operator|=(const Bdd& o) { return *this = *this | o; }
+  Bdd& operator^=(const Bdd& o) { return *this = *this ^ o; }
+  Bdd& operator-=(const Bdd& o) { return *this = *this - o; }
+
+  bool operator==(const Bdd& o) const { return mgr_ == o.mgr_ && idx_ == o.idx_; }
+  bool operator!=(const Bdd& o) const { return !(*this == o); }
+
+  /// True iff this function implies (is a subset of) `o`.
+  [[nodiscard]] bool implies(const Bdd& o) const;
+
+  /// Number of satisfying assignments over the manager's full variable set.
+  [[nodiscard]] Uint128 count() const;
+
+  /// Number of distinct arena nodes reachable from this root (incl. terminals).
+  [[nodiscard]] size_t node_count() const;
+
+ private:
+  BddManager* mgr_ = nullptr;
+  NodeIndex idx_ = kFalse;
+};
+
+/// One arena node: a decision on `var` with else/then branches.
+struct BddNode {
+  Var var;
+  NodeIndex low;
+  NodeIndex high;
+};
+
+/// Owner of the node arena, unique table and operation caches.
+///
+/// A manager is constructed with a fixed variable count; all counting is
+/// relative to that universe. Managers are not thread-safe; Yardstick uses
+/// one per analysis.
+class BddManager {
+ public:
+  /// @param num_vars size of the variable universe (max 120 so that
+  ///        counts fit in 128 bits).
+  explicit BddManager(Var num_vars);
+
+  BddManager(const BddManager&) = delete;
+  BddManager& operator=(const BddManager&) = delete;
+
+  [[nodiscard]] Var num_vars() const { return num_vars_; }
+
+  [[nodiscard]] Bdd zero() { return {this, kFalse}; }
+  [[nodiscard]] Bdd one() { return {this, kTrue}; }
+  /// Single positive literal x_v.
+  [[nodiscard]] Bdd var(Var v);
+  /// Single negative literal NOT x_v.
+  [[nodiscard]] Bdd nvar(Var v);
+
+  /// Conjunction of literals: bits[i] gives the polarity of vars[i].
+  [[nodiscard]] Bdd cube(std::span<const Var> vars, const std::vector<bool>& bits);
+
+  /// Existentially quantify away every variable v with quantified[v] == true.
+  [[nodiscard]] Bdd exists(const Bdd& f, const std::vector<bool>& quantified);
+
+  /// Restrict variable v to a constant value in f (Shannon cofactor).
+  [[nodiscard]] Bdd restrict_var(const Bdd& f, Var v, bool value);
+
+  /// One (arbitrary) satisfying assignment; unconstrained variables get
+  /// false. Precondition: f is satisfiable.
+  [[nodiscard]] std::vector<bool> pick_one(const Bdd& f);
+
+  /// Variables on which f actually depends.
+  [[nodiscard]] std::vector<Var> support(const Bdd& f);
+
+  /// Graphviz dump for debugging small functions.
+  [[nodiscard]] std::string to_dot(const Bdd& f);
+
+  /// Evaluate f under a complete assignment.
+  [[nodiscard]] bool evaluate(const Bdd& f, const std::vector<bool>& assignment) const;
+
+  /// Total nodes allocated in the arena (diagnostic).
+  [[nodiscard]] size_t arena_size() const { return nodes_.size(); }
+
+  /// Direct-mapped operation cache statistics (diagnostic / ablation).
+  struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+  [[nodiscard]] CacheStats cache_stats() const { return cache_stats_; }
+
+  /// Disable the apply cache (ablation only; quadratic blow-ups expected).
+  void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
+
+  // --- Internal index-level API (used by Bdd operators; public so that
+  // free functions and tests can drive the engine directly). ---
+  enum class Op : uint8_t { And = 0, Or = 1, Xor = 2, Diff = 3 };
+
+  NodeIndex apply(Op op, NodeIndex a, NodeIndex b);
+  NodeIndex negate(NodeIndex a) { return apply(Op::Xor, a, kTrue); }
+  [[nodiscard]] const BddNode& node(NodeIndex i) const { return nodes_[i]; }
+  Uint128 count_index(NodeIndex a);
+  NodeIndex make(Var v, NodeIndex low, NodeIndex high);
+
+ private:
+  struct CacheEntry {
+    uint64_t key = UINT64_MAX;  // packed (op, a, b)
+    NodeIndex result = kFalse;
+  };
+
+  NodeIndex apply_rec(Op op, NodeIndex a, NodeIndex b);
+  NodeIndex exists_rec(NodeIndex f, const std::vector<bool>& quantified,
+                       std::vector<NodeIndex>& memo);
+  NodeIndex restrict_rec(NodeIndex f, Var v, bool value,
+                         std::vector<NodeIndex>& memo);
+  [[nodiscard]] Var level(NodeIndex i) const {
+    return i <= kTrue ? num_vars_ : nodes_[i].var;
+  }
+  void grow_unique_table();
+  [[nodiscard]] static uint64_t hash_triple(Var v, NodeIndex lo, NodeIndex hi);
+
+  Var num_vars_;
+  std::vector<BddNode> nodes_;
+
+  // Open-addressing unique table over node indices; kEmptySlot marks free.
+  static constexpr uint32_t kEmptySlot = UINT32_MAX;
+  std::vector<uint32_t> unique_table_;
+  uint64_t unique_mask_ = 0;
+
+  std::vector<CacheEntry> op_cache_;
+  uint64_t op_cache_mask_ = 0;
+  bool cache_enabled_ = true;
+  CacheStats cache_stats_;
+
+  // Persistent per-node model-count memo (nodes are immutable).
+  std::vector<Uint128> count_memo_;
+  std::vector<bool> count_memo_valid_;
+};
+
+}  // namespace yardstick::bdd

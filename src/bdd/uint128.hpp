@@ -1,0 +1,39 @@
+// Helpers for 128-bit unsigned integers used for exact packet-set model
+// counts. The packet header space is 104 bits wide, so counts can reach
+// 2^104 — beyond uint64_t but comfortably inside unsigned __int128.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace yardstick::bdd {
+
+using Uint128 = unsigned __int128;
+
+/// Render a 128-bit unsigned integer in decimal (no standard operator<<).
+inline std::string to_string(Uint128 v) {
+  if (v == 0) return "0";
+  std::string out;
+  while (v != 0) {
+    out.push_back(static_cast<char>('0' + static_cast<unsigned>(v % 10)));
+    v /= 10;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+/// Lossy conversion for ratio computations (coverage fractions).
+inline double to_double(Uint128 v) {
+  return static_cast<double>(static_cast<uint64_t>(v >> 64)) * 18446744073709551616.0 +
+         static_cast<double>(static_cast<uint64_t>(v));
+}
+
+/// v / 2^k as a double, exact enough for coverage ratios in [0,1].
+inline double ratio(Uint128 numer, Uint128 denom) {
+  if (denom == 0) return 0.0;
+  return to_double(numer) / to_double(denom);
+}
+
+/// 2^k for k <= 127.
+inline Uint128 pow2(unsigned k) { return static_cast<Uint128>(1) << k; }
+
+}  // namespace yardstick::bdd

@@ -1,0 +1,39 @@
+// Atomic Testable Units (§4.2).
+//
+// An ATU is a pair (rule, located packet) — the minimal unit of network
+// state any test can exercise. The framework never materializes individual
+// ATUs (a single symbolic test can cover 2^100 of them); instead, sets of
+// ATUs are represented compactly:
+//
+//   * a test suite's ATUs live in the CoverageTrace as (P_T, R_T);
+//   * per-rule covered sets T[r] (Algorithm 1) are the ATU sets grouped by
+//     rule, with the packet dimension as a PacketSet.
+//
+// This header defines the explicit ATU type used at API boundaries and in
+// tests that validate the decomposition laws (e.g. a symbolic test's
+// coverage equals the union of the concrete tests enumerating it).
+#pragma once
+
+#include <string>
+
+#include "netmodel/ids.hpp"
+#include "packet/packet.hpp"
+
+namespace yardstick::coverage {
+
+/// One atomic testable unit: rule `rule` exercised by the concrete packet
+/// `packet` located at `location`.
+struct Atu {
+  net::RuleId rule;
+  packet::LocationId location = packet::kNoLocation;
+  packet::ConcretePacket packet;
+
+  friend bool operator==(const Atu&, const Atu&) = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return "atu(rule=" + std::to_string(rule.value) + ", loc=" + std::to_string(location) +
+           ", " + packet.to_string() + ")";
+  }
+};
+
+}  // namespace yardstick::coverage

@@ -1,0 +1,52 @@
+#include "coverage/covered_sets.hpp"
+
+namespace yardstick::coverage {
+
+using packet::PacketSet;
+
+CoveredSets::CoveredSets(const dataplane::MatchSetIndex& index, const CoverageTrace& trace)
+    : index_(index), trace_(trace) {
+  bdd::BddManager& mgr = index.manager();
+  const net::Network& network = index.network();
+  covered_.resize(network.rule_count());
+
+  for (const net::Device& dev : network.devices()) {
+    // One device-level P_T slice shared by all rules of the device.
+    PacketSet at_device;
+    bool at_device_computed = false;
+    const auto device_headers = [&]() -> const PacketSet& {
+      if (!at_device_computed) {
+        at_device = trace.headers_at_device(mgr, network, dev.id);
+        at_device_computed = true;
+      }
+      return at_device;
+    };
+    for (const net::TableKind table : {net::TableKind::Acl, net::TableKind::Fib}) {
+      for (const net::RuleId rid : network.table(dev.id, table)) {
+        if (trace.rule_marked(rid)) {
+          covered_[rid.value] = index.match_set(rid);
+          continue;
+        }
+        PacketSet headers = device_headers();
+        // Packets the ingress ACL denies never reach the forwarding
+        // table, so they cannot exercise FIB rules behaviorally.
+        if (table == net::TableKind::Fib && network.has_acl(dev.id)) {
+          headers = headers.intersect(index.acl_permitted_space(dev.id));
+        }
+        covered_[rid.value] = headers.intersect(index.match_set(rid));
+      }
+    }
+  }
+}
+
+PacketSet CoveredSets::covered_on_interface(net::RuleId rule, net::InterfaceId intf) const {
+  if (trace_.rule_marked(rule)) return index_.match_set(rule);
+  PacketSet at = trace_.headers_at_interface(manager(), intf);
+  const net::Rule& r = network().rule(rule);
+  if (r.table == net::TableKind::Fib && network().has_acl(r.device)) {
+    at = at.intersect(index_.acl_permitted_space(r.device));
+  }
+  return at.intersect(index_.match_set(rule));
+}
+
+}  // namespace yardstick::coverage

@@ -1,0 +1,54 @@
+// Covered-set computation — Algorithm 1 of the paper.
+//
+// For every rule r, the covered set T[r] is:
+//   * M[r] when r was reported by a state-inspection test (r in R_T) —
+//     inspecting a rule covers everything the rule applies to;
+//   * P_T|device(r)  intersect  M[r] otherwise — the headers behavioral
+//     tests reported at the rule's device, clipped to the rule's disjoint
+//     match set.
+//
+// Covered sets are the bridge between the trace (what tests reported) and
+// every coverage metric (what fraction of each component's ATUs that
+// reaches).
+#pragma once
+
+#include <vector>
+
+#include "coverage/trace.hpp"
+#include "dataplane/match_sets.hpp"
+
+namespace yardstick::coverage {
+
+class CoveredSets {
+ public:
+  /// Runs Algorithm 1 for every rule in the network.
+  CoveredSets(const dataplane::MatchSetIndex& index, const CoverageTrace& trace);
+
+  /// T[r]: packets with which the suite exercised rule r.
+  [[nodiscard]] const packet::PacketSet& covered(net::RuleId rule) const {
+    return covered_[rule.value];
+  }
+
+  /// |T[r]| (exact).
+  [[nodiscard]] bdd::Uint128 covered_size(net::RuleId rule) const {
+    return covered_[rule.value].count();
+  }
+
+  /// Covered set of rule r restricted to packets arriving on `intf` —
+  /// the guard restriction used by incoming-interface coverage (§4.3.2).
+  /// State-inspected rules still count in full.
+  [[nodiscard]] packet::PacketSet covered_on_interface(net::RuleId rule,
+                                                       net::InterfaceId intf) const;
+
+  [[nodiscard]] const dataplane::MatchSetIndex& index() const { return index_; }
+  [[nodiscard]] const CoverageTrace& trace() const { return trace_; }
+  [[nodiscard]] const net::Network& network() const { return index_.network(); }
+  [[nodiscard]] bdd::BddManager& manager() const { return index_.manager(); }
+
+ private:
+  const dataplane::MatchSetIndex& index_;
+  const CoverageTrace& trace_;
+  std::vector<packet::PacketSet> covered_;  // indexed by RuleId
+};
+
+}  // namespace yardstick::coverage

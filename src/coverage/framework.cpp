@@ -1,0 +1,178 @@
+#include "coverage/framework.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace yardstick::coverage {
+
+using bdd::Uint128;
+using packet::PacketSet;
+
+double component_coverage(const CoveredSets& covered, const ComponentSpec& spec) {
+  std::vector<MeasureResult> results;
+  results.reserve(spec.strings.size());
+  for (const GuardedString& g : spec.strings) {
+    results.push_back(spec.measure(covered, g));
+  }
+  return spec.combinator(results);
+}
+
+ComponentCoverage component_coverage_weighted(const CoveredSets& covered,
+                                              const ComponentSpec& spec) {
+  std::vector<MeasureResult> results;
+  results.reserve(spec.strings.size());
+  Uint128 total_weight = 0;
+  for (const GuardedString& g : spec.strings) {
+    results.push_back(spec.measure(covered, g));
+    total_weight += results.back().weight;
+  }
+  return {spec.combinator(results), total_weight};
+}
+
+double collection_coverage(const CoveredSets& covered,
+                           const std::vector<ComponentSpec>& collection,
+                           const Aggregator& aggregate) {
+  std::vector<ComponentCoverage> per_component;
+  per_component.reserve(collection.size());
+  for (const ComponentSpec& spec : collection) {
+    per_component.push_back(component_coverage_weighted(covered, spec));
+  }
+  return aggregate(per_component);
+}
+
+namespace {
+
+/// The covered set of the string's rule, honoring a location restriction.
+PacketSet covered_for(const CoveredSets& covered, const GuardedString& g,
+                      net::RuleId rule) {
+  if (g.at_location != packet::kNoLocation && !net::is_device_location(g.at_location)) {
+    return covered.covered_on_interface(rule, net::from_location(g.at_location));
+  }
+  return covered.covered(rule);
+}
+
+}  // namespace
+
+Measure fraction_measure() {
+  return [](const CoveredSets& covered, const GuardedString& g) -> MeasureResult {
+    assert(g.rules.size() == 1);
+    const Uint128 total = g.guard.count();
+    if (total == 0) return {1.0, 0};  // vacuous: nothing can ever exercise it
+    const PacketSet tested = covered_for(covered, g, g.rules.front());
+    const Uint128 hit = tested.intersect(g.guard).count();
+    return {bdd::ratio(hit, total), total};
+  };
+}
+
+Measure exists_measure() {
+  return [](const CoveredSets& covered, const GuardedString& g) -> MeasureResult {
+    assert(g.rules.size() == 1);
+    const Uint128 total = g.guard.count();
+    if (total == 0) return {1.0, 0};
+    const PacketSet tested = covered_for(covered, g, g.rules.front());
+    return {tested.intersect(g.guard).empty() ? 0.0 : 1.0, total};
+  };
+}
+
+Measure path_measure(const dataplane::Transfer& transfer) {
+  return [&transfer](const CoveredSets& covered, const GuardedString& g) -> MeasureResult {
+    const Uint128 guard_size = g.guard.count();
+    if (guard_size == 0 || g.rules.empty()) return {1.0, 0};
+
+    PacketSet survivors = g.guard;      // P_i: covered packets still flowing
+    PacketSet unconstrained = g.guard;  // P'_i: all packets still flowing
+    double min_ratio = 1.0;
+
+    for (const net::RuleId rid : g.rules) {
+      const net::Rule& rule = covered.network().rule(rid);
+      unconstrained =
+          transfer.rewrite(rule, unconstrained.intersect(covered.index().match_set(rid)));
+      survivors = transfer.rewrite(rule, survivors.intersect(covered.covered(rid)));
+      const Uint128 all = unconstrained.count();
+      if (all == 0) return {min_ratio, guard_size};  // path carries nothing past here
+      min_ratio = std::min(min_ratio, bdd::ratio(survivors.count(), all));
+      if (min_ratio == 0.0) break;
+    }
+    return {min_ratio, guard_size};
+  };
+}
+
+Combinator single_combinator() {
+  return [](const std::vector<MeasureResult>& results) -> double {
+    assert(results.size() == 1);
+    return results.front().value;
+  };
+}
+
+Combinator mean_combinator() {
+  return [](const std::vector<MeasureResult>& results) -> double {
+    if (results.empty()) return 1.0;
+    double sum = 0.0;
+    for (const MeasureResult& r : results) sum += r.value;
+    return sum / static_cast<double>(results.size());
+  };
+}
+
+Combinator weighted_mean_combinator() {
+  return [](const std::vector<MeasureResult>& results) -> double {
+    double weight_sum = 0.0;
+    double value_sum = 0.0;
+    for (const MeasureResult& r : results) {
+      const double w = bdd::to_double(r.weight);
+      weight_sum += w;
+      value_sum += w * r.value;
+    }
+    return weight_sum == 0.0 ? 1.0 : value_sum / weight_sum;
+  };
+}
+
+Combinator min_combinator() {
+  return [](const std::vector<MeasureResult>& results) -> double {
+    double out = 1.0;
+    for (const MeasureResult& r : results) out = std::min(out, r.value);
+    return out;
+  };
+}
+
+Combinator max_combinator() {
+  return [](const std::vector<MeasureResult>& results) -> double {
+    double out = results.empty() ? 1.0 : 0.0;
+    for (const MeasureResult& r : results) out = std::max(out, r.value);
+    return out;
+  };
+}
+
+Aggregator simple_average_aggregator() {
+  return [](const std::vector<ComponentCoverage>& components) -> double {
+    if (components.empty()) return 1.0;
+    double sum = 0.0;
+    for (const ComponentCoverage& c : components) sum += c.value;
+    return sum / static_cast<double>(components.size());
+  };
+}
+
+Aggregator weighted_average_aggregator() {
+  return [](const std::vector<ComponentCoverage>& components) -> double {
+    double weight_sum = 0.0;
+    double value_sum = 0.0;
+    for (const ComponentCoverage& c : components) {
+      const double w = bdd::to_double(c.weight);
+      weight_sum += w;
+      value_sum += w * c.value;
+    }
+    return weight_sum == 0.0 ? 1.0 : value_sum / weight_sum;
+  };
+}
+
+Aggregator fractional_aggregator() {
+  return [](const std::vector<ComponentCoverage>& components) -> double {
+    if (components.empty()) return 1.0;
+    double covered_count = 0.0;
+    for (const ComponentCoverage& c : components) {
+      if (c.value > 0.0) covered_count += 1.0;
+    }
+    return covered_count / static_cast<double>(components.size());
+  };
+}
+
+}  // namespace yardstick::coverage

@@ -1,0 +1,110 @@
+// The coverage-computation framework of §4.3.1.
+//
+// A component's coverage is specified by three pieces:
+//   * a dependency specification G — a set of guarded strings
+//     P ▷ r1,...,rj (what must be tested to test the component),
+//   * a measure µ — how well a test suite covers one guarded string,
+//   * a combinator κ — how per-string measures fold into one number.
+//
+// Equation (1):  CompCov[T](κ, µ, G) = κ (map (µ[T]) G)
+// Equation (2):  Cov[T](α, C)        = α (map (CompCov[T]) C)
+//
+// Measures return their value together with the guard's packet-space size
+// so that weighted combinators/aggregators (§4.3.3) have the weights the
+// paper calls for without recomputing counts.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "coverage/covered_sets.hpp"
+#include "dataplane/transfer.hpp"
+
+namespace yardstick::coverage {
+
+/// A guarded string P ▷ r1,...,rj: a packet-set guard flowing along a
+/// valid rule path. Single-rule strings describe local components (rules,
+/// devices, interfaces); multi-rule strings describe paths and flows.
+struct GuardedString {
+  packet::PacketSet guard;
+  std::vector<net::RuleId> rules;
+  /// When set to an interface location, the guard represents only packets
+  /// arriving on that interface (incoming-interface coverage, §4.3.2).
+  packet::LocationId at_location = packet::kNoLocation;
+};
+
+/// Value in [0,1] plus the guard's weight (its packet-space size).
+struct MeasureResult {
+  double value = 0.0;
+  bdd::Uint128 weight = 0;
+};
+
+/// µ: how much of one guarded string the suite covered.
+using Measure = std::function<MeasureResult(const CoveredSets&, const GuardedString&)>;
+
+/// κ: fold per-string measures into the component's coverage.
+using Combinator = std::function<double(const std::vector<MeasureResult>&)>;
+
+/// A full component specification (G, µ, κ).
+struct ComponentSpec {
+  std::vector<GuardedString> strings;
+  Measure measure;
+  Combinator combinator;
+};
+
+/// Equation (1).
+[[nodiscard]] double component_coverage(const CoveredSets& covered,
+                                        const ComponentSpec& spec);
+
+/// Component coverage along with the component's total weight (sum of its
+/// guards' sizes) — what collection aggregators need.
+struct ComponentCoverage {
+  double value = 0.0;
+  bdd::Uint128 weight = 0;
+};
+
+[[nodiscard]] ComponentCoverage component_coverage_weighted(const CoveredSets& covered,
+                                                            const ComponentSpec& spec);
+
+/// α: fold per-component coverages into a collection-level number.
+using Aggregator = std::function<double(const std::vector<ComponentCoverage>&)>;
+
+/// Equation (2).
+[[nodiscard]] double collection_coverage(const CoveredSets& covered,
+                                         const std::vector<ComponentSpec>& collection,
+                                         const Aggregator& aggregate);
+
+// --- Standard measures ---
+
+/// Fraction of the guard covered on the string's single rule:
+/// |T[r] ∩ P| / |P|. Empty guards are vacuously covered (value 1,
+/// weight 0) so fully-shadowed rules cannot cap a suite below 1.0.
+[[nodiscard]] Measure fraction_measure();
+
+/// 1 if any packet of the guard exercises the rule, else 0.
+[[nodiscard]] Measure exists_measure();
+
+/// Equation (3) with the footnote-2 generalization: walk the rule path,
+/// propagating both the covered survivor set
+///   P_i = F[r_i][P_{i-1} ∩ T[r_i]]
+/// and the unconstrained companion P'_i (with M[r_i] in place of T[r_i]),
+/// and return the minimum |P_i| / |P'_i| across hops. For one-to-one
+/// transformations this equals |P_k| / |P| exactly.
+[[nodiscard]] Measure path_measure(const dataplane::Transfer& transfer);
+
+// --- Standard combinators ---
+
+[[nodiscard]] Combinator single_combinator();      // the one-string case
+[[nodiscard]] Combinator mean_combinator();        // unweighted average
+[[nodiscard]] Combinator weighted_mean_combinator();  // weight = guard size
+[[nodiscard]] Combinator min_combinator();
+[[nodiscard]] Combinator max_combinator();
+
+// --- Standard aggregators (§4.3.3) ---
+
+[[nodiscard]] Aggregator simple_average_aggregator();
+[[nodiscard]] Aggregator weighted_average_aggregator();
+/// Fraction of components with non-zero coverage.
+[[nodiscard]] Aggregator fractional_aggregator();
+
+}  // namespace yardstick::coverage

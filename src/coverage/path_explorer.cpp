@@ -1,0 +1,196 @@
+#include "coverage/path_explorer.hpp"
+
+#include <algorithm>
+
+namespace yardstick::coverage {
+
+using bdd::Uint128;
+using packet::PacketSet;
+
+struct PathExplorer::DfsState {
+  std::vector<net::RuleId> stack;
+  /// Rules on the stack that rewrite headers (indices into `stack`);
+  /// empty means guard size == |final_set|.
+  int rewrite_depth = 0;
+  packet::LocationId origin = packet::kNoLocation;
+  const std::function<bool(const ExploredPath&)>* visit = nullptr;
+  uint64_t emitted = 0;
+};
+
+bool PathExplorer::emit(DfsState& state, const PacketSet& final_set, double ratio,
+                        PathEnd end) const {
+  ExploredPath path{state.stack, final_set, 0, ratio, state.origin, end};
+
+  if (state.rewrite_depth == 0) {
+    path.guard_size = final_set.count();
+  } else {
+    // Reverse the rewrites through pre-images to recover the guard at the
+    // path origin (§5.2: only its size is needed).
+    PacketSet guard = final_set;
+    for (auto it = state.stack.rbegin(); it != state.stack.rend(); ++it) {
+      const net::Rule& rule = transfer_.network().rule(*it);
+      guard = transfer_.rewrite_preimage(rule, guard)
+                  .intersect(transfer_.index().match_set(*it));
+    }
+    path.guard_size = guard.count();
+  }
+
+  ++state.emitted;
+  const bool keep_going = (*state.visit)(path);
+  if (options_.max_paths != 0 && state.emitted >= options_.max_paths) return false;
+  return keep_going;
+}
+
+bool PathExplorer::dfs(DfsState& state, net::DeviceId device,
+                       net::InterfaceId in_interface, const PacketSet& flowing,
+                       const PacketSet& survivors, double min_ratio, int depth) const {
+  const net::Network& network = transfer_.network();
+  bdd::BddManager& mgr = transfer_.index().manager();
+  if (!network.has_acl(device)) {
+    return fib_stage(state, device, in_interface, flowing, survivors, min_ratio, depth);
+  }
+
+  // Ingress ACL stage: deny rules terminate paths; permit rules extend the
+  // rule sequence and hand their claim to the forwarding stage.
+  const std::vector<dataplane::RuleSplit> acl_splits =
+      transfer_.split(device, in_interface, flowing, net::TableKind::Acl);
+
+  if (options_.include_unmatched && !state.stack.empty()) {
+    PacketSet matched = PacketSet::none(mgr);
+    for (const dataplane::RuleSplit& s : acl_splits) matched = matched.union_with(s.packets);
+    const PacketSet implicit_deny = flowing.minus(matched);
+    if (!implicit_deny.empty()) {
+      if (!emit(state, implicit_deny, min_ratio, PathEnd::Unmatched)) return false;
+    }
+  }
+
+  for (const dataplane::RuleSplit& s : acl_splits) {
+    const net::Rule& rule = network.rule(s.rule);
+    state.stack.push_back(s.rule);
+    PacketSet next_survivors;
+    double next_ratio = min_ratio;
+    if (covered_ != nullptr) {
+      next_survivors = survivors.intersect(covered_->covered(s.rule));
+      next_ratio = std::min(next_ratio,
+                            bdd::ratio(next_survivors.count(), s.packets.count()));
+    }
+    bool keep_going = true;
+    if (rule.action.type == net::ActionType::Drop) {
+      keep_going = emit(state, s.packets, next_ratio, PathEnd::Dropped);
+    } else {
+      keep_going = fib_stage(state, device, in_interface, s.packets, next_survivors,
+                             next_ratio, depth);
+    }
+    state.stack.pop_back();
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+bool PathExplorer::fib_stage(DfsState& state, net::DeviceId device,
+                             net::InterfaceId in_interface, const PacketSet& flowing,
+                             const PacketSet& survivors, double min_ratio,
+                             int depth) const {
+  const net::Network& network = transfer_.network();
+  bdd::BddManager& mgr = transfer_.index().manager();
+
+  const std::vector<dataplane::RuleSplit> splits =
+      transfer_.split(device, in_interface, flowing);
+
+  // Ruleless drops terminate the path at the previous rule (§4.3.2).
+  if (options_.include_unmatched && !state.stack.empty()) {
+    PacketSet matched = PacketSet::none(mgr);
+    for (const dataplane::RuleSplit& s : splits) matched = matched.union_with(s.packets);
+    const PacketSet unmatched = flowing.minus(matched);
+    if (!unmatched.empty()) {
+      if (!emit(state, unmatched, min_ratio, PathEnd::Unmatched)) return false;
+    }
+  }
+
+  for (const dataplane::RuleSplit& s : splits) {
+    const net::Rule& rule = network.rule(s.rule);
+    const bool rewrites = !rule.action.rewrites.empty();
+
+    state.stack.push_back(s.rule);
+    if (rewrites) ++state.rewrite_depth;
+
+    // Equation (3): survivor set clipped by T[r], companion set by M[r]
+    // (the split already applied M[r] to `flowing`).
+    PacketSet next_survivors;
+    double next_ratio = min_ratio;
+    if (covered_ != nullptr) {
+      next_survivors = transfer_.rewrite(rule, survivors.intersect(covered_->covered(s.rule)));
+    }
+
+    bool keep_going = true;
+    if (rule.action.type == net::ActionType::Drop) {
+      const PacketSet final_set = s.packets;  // no rewrite on drop
+      if (covered_ != nullptr) {
+        next_ratio = std::min(
+            next_ratio, bdd::ratio(survivors.intersect(covered_->covered(s.rule)).count(),
+                                   final_set.count()));
+      }
+      keep_going = emit(state, final_set, next_ratio, PathEnd::Dropped);
+    } else {
+      const PacketSet transformed = transfer_.rewrite(rule, s.packets);
+      if (covered_ != nullptr && !transformed.empty()) {
+        next_ratio = std::min(
+            next_ratio, bdd::ratio(next_survivors.count(), transformed.count()));
+      }
+      for (const dataplane::HopOutput& hop : transfer_.apply(rule, s.packets)) {
+        if (!hop.next_interface.valid()) {
+          keep_going = emit(state, hop.packets, next_ratio, PathEnd::Delivered);
+        } else if (depth + 1 >= options_.max_depth) {
+          keep_going = emit(state, hop.packets, next_ratio, PathEnd::DepthLimit);
+        } else {
+          keep_going = dfs(state, network.interface(hop.next_interface).device,
+                           hop.next_interface, hop.packets, next_survivors, next_ratio,
+                           depth + 1);
+        }
+        if (!keep_going) break;
+      }
+    }
+
+    if (rewrites) --state.rewrite_depth;
+    state.stack.pop_back();
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+uint64_t PathExplorer::explore(net::DeviceId device, net::InterfaceId in_interface,
+                               const PacketSet& headers,
+                               const std::function<bool(const ExploredPath&)>& visit) const {
+  DfsState state;
+  state.visit = &visit;
+  state.origin = in_interface.valid() ? net::to_location(in_interface)
+                                      : net::device_location(device);
+  dfs(state, device, in_interface, headers, headers, 1.0, 0);
+  return state.emitted;
+}
+
+uint64_t PathExplorer::explore_universe(
+    const std::function<bool(const ExploredPath&)>& visit) const {
+  const net::Network& network = transfer_.network();
+  bdd::BddManager& mgr = transfer_.index().manager();
+  const PacketSet all = PacketSet::all(mgr);
+  uint64_t total = 0;
+  for (const net::Interface& intf : network.interfaces()) {
+    const bool ingress = intf.kind == net::PortKind::HostPort ||
+                         intf.kind == net::PortKind::ExternalPort;
+    if (!ingress) continue;
+    DfsState state;
+    state.visit = &visit;
+    state.origin = net::to_location(intf.id);
+    if (options_.max_paths != 0 && total >= options_.max_paths) break;
+    Options remaining = options_;
+    if (remaining.max_paths != 0) remaining.max_paths -= total;
+    // Each ingress port gets its own DFS; the per-call budget shrinks as
+    // paths accumulate.
+    PathExplorer scoped(transfer_, covered_, remaining);
+    total += scoped.explore(intf.device, intf.id, all, visit);
+  }
+  return total;
+}
+
+}  // namespace yardstick::coverage

@@ -1,0 +1,64 @@
+#include "dataplane/match_sets.hpp"
+
+namespace yardstick::dataplane {
+
+using packet::Field;
+using packet::PacketSet;
+
+PacketSet MatchSetIndex::build_match_field(bdd::BddManager& mgr,
+                                           const net::MatchSpec& spec) {
+  PacketSet acc = PacketSet::all(mgr);
+  if (spec.dst_prefix) acc = acc.intersect(PacketSet::dst_prefix(mgr, *spec.dst_prefix));
+  if (spec.src_prefix) acc = acc.intersect(PacketSet::src_prefix(mgr, *spec.src_prefix));
+  if (spec.proto) {
+    acc = acc.intersect(PacketSet::field_equals(mgr, Field::Proto, *spec.proto));
+  }
+  if (spec.src_port) {
+    acc = acc.intersect(
+        PacketSet::field_range(mgr, Field::SrcPort, spec.src_port->lo, spec.src_port->hi));
+  }
+  if (spec.dst_port) {
+    acc = acc.intersect(
+        PacketSet::field_range(mgr, Field::DstPort, spec.dst_port->lo, spec.dst_port->hi));
+  }
+  return acc;
+}
+
+MatchSetIndex::MatchSetIndex(bdd::BddManager& mgr, const net::Network& network)
+    : mgr_(mgr), network_(network) {
+  const size_t num_rules = network.rule_count();
+  match_fields_.resize(num_rules);
+  match_sets_.resize(num_rules);
+  matched_space_.resize(network.device_count());
+  acl_permitted_.resize(network.device_count());
+
+  for (const net::Device& dev : network.devices()) {
+    for (const net::TableKind table : {net::TableKind::Acl, net::TableKind::Fib}) {
+      // Walk the ordered table, giving each rule the part of its match
+      // field not already claimed by an earlier rule.
+      PacketSet claimed = PacketSet::none(mgr);
+      PacketSet permitted = PacketSet::none(mgr);
+      for (const net::RuleId rid : network.table(dev.id, table)) {
+        const net::Rule& r = network.rule(rid);
+        PacketSet field = build_match_field(mgr, r.match);
+        PacketSet disjoint = field.minus(claimed);
+        claimed = claimed.union_with(field);
+        if (r.action.type == net::ActionType::Permit) {
+          permitted = permitted.union_with(disjoint);
+        }
+        match_sets_[rid.value] = std::move(disjoint);
+        match_fields_[rid.value] = std::move(field);
+      }
+      if (table == net::TableKind::Fib) {
+        matched_space_[dev.id.value] = claimed;
+      } else {
+        // No ACL stage means everything is permitted (implicit deny only
+        // applies when an ACL exists).
+        acl_permitted_[dev.id.value] =
+            network.has_acl(dev.id) ? permitted : PacketSet::all(mgr);
+      }
+    }
+  }
+}
+
+}  // namespace yardstick::dataplane

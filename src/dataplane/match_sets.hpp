@@ -1,0 +1,73 @@
+// Match-set computation (§5.2 step 1).
+//
+// A rule's *match field* is the packet set written in the table entry. Its
+// *match set* M[r] is the disjoint set the rule actually applies to under
+// first-match semantics: the match field minus everything consumed by
+// earlier rules in the same table. Coverage is always computed against
+// M[r], which is what makes the metrics semantics-based (§3.2) — a packet
+// matching the default route exercises only the default rule, regardless
+// of how a device implementation would scan the table.
+#pragma once
+
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "netmodel/network.hpp"
+#include "packet/packet_set.hpp"
+
+namespace yardstick::dataplane {
+
+class MatchSetIndex {
+ public:
+  /// Computes match fields and disjoint match sets for every rule in the
+  /// network. Cost is one linear walk per device table.
+  MatchSetIndex(bdd::BddManager& mgr, const net::Network& network);
+
+  /// The raw match field of the rule (what the table entry says).
+  [[nodiscard]] const packet::PacketSet& match_field(net::RuleId id) const {
+    return match_fields_[id.value];
+  }
+
+  /// The disjoint match set M[r] (match field minus earlier rules).
+  [[nodiscard]] const packet::PacketSet& match_set(net::RuleId id) const {
+    return match_sets_[id.value];
+  }
+
+  /// Exact size |M[r]| of the disjoint match set.
+  [[nodiscard]] bdd::Uint128 match_set_size(net::RuleId id) const {
+    return match_sets_[id.value].count();
+  }
+
+  /// Union of all match sets in the device's forwarding table: the packet
+  /// space the FIB handles at all (unmatched packets drop ruleless-ly).
+  [[nodiscard]] const packet::PacketSet& matched_space(net::DeviceId id) const {
+    return matched_space_[id.value];
+  }
+
+  /// Packets the device's ingress ACL lets through to the FIB: the union
+  /// of the permit rules' match sets; everything (an always-true set) on
+  /// devices without an ACL stage. Behavioral coverage of FIB rules is
+  /// clipped by this space — packets the ACL denies never exercise the
+  /// FIB (§4.1 multi-table extension).
+  [[nodiscard]] const packet::PacketSet& acl_permitted_space(net::DeviceId id) const {
+    return acl_permitted_[id.value];
+  }
+
+  [[nodiscard]] bdd::BddManager& manager() const { return mgr_; }
+  [[nodiscard]] const net::Network& network() const { return network_; }
+
+  /// Build just the match field for a MatchSpec (header dimensions only;
+  /// in-interface restrictions are handled by the transfer function).
+  static packet::PacketSet build_match_field(bdd::BddManager& mgr,
+                                             const net::MatchSpec& spec);
+
+ private:
+  bdd::BddManager& mgr_;
+  const net::Network& network_;
+  std::vector<packet::PacketSet> match_fields_;  // indexed by RuleId
+  std::vector<packet::PacketSet> match_sets_;    // indexed by RuleId
+  std::vector<packet::PacketSet> matched_space_;  // indexed by DeviceId
+  std::vector<packet::PacketSet> acl_permitted_;  // indexed by DeviceId
+};
+
+}  // namespace yardstick::dataplane

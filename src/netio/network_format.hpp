@@ -1,0 +1,54 @@
+// Plain-text network interchange format.
+//
+// Lets users bring their own topologies and (optionally) forwarding state
+// to Yardstick instead of using the built-in generators, and lets tools
+// archive generated networks alongside coverage traces. Line-oriented,
+// whitespace-separated, '#' comments:
+//
+//   network v1
+//   device <name> role <tor|aggregation|spine|regionalhub|wan|host|other> [asn N]
+//   interface <device> <name> [kind fabric|host|local|external]
+//   link <devA>:<ifaceA> <devB>:<ifaceB> [subnet a.b.c.d/31]
+//   host-prefix <device> <cidr>
+//   loopback <device> <cidr>
+//   wide-area <device> <cidr>          # routing config: WAN origination
+//   no-default <device>                # hub without any default route
+//   null-default <device>              # §2: null-routed static default
+//   fib <device> dst <cidr> (fwd <iface>... | drop) [kind <routekind>] [prio N]
+//   acl <device> (permit|deny) [proto N] [dport LO[-HI]] [sport LO[-HI]]
+//                [dst <cidr>] [src <cidr>]
+//
+// `fib`/`acl` lines are optional: without them, run the BGP substrate
+// (routing::FibBuilder) on the loaded topology to synthesize state.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netmodel/network.hpp"
+#include "routing/config.hpp"
+
+namespace yardstick::netio {
+
+struct LoadedNetwork {
+  net::Network network;
+  routing::RoutingConfig routing;
+  /// True if the file carried explicit fib/acl lines (state included).
+  bool has_forwarding_state = false;
+};
+
+/// Parse the format. Throws std::runtime_error with a line number on any
+/// malformed input.
+[[nodiscard]] LoadedNetwork parse_network(const std::string& text);
+
+/// Serialize a network (and the routing-config fields the format covers)
+/// including its current rule tables.
+[[nodiscard]] std::string format_network(const net::Network& network,
+                                         const routing::RoutingConfig& routing);
+
+/// File convenience wrappers.
+[[nodiscard]] LoadedNetwork load_network_file(const std::string& path);
+void save_network_file(const std::string& path, const net::Network& network,
+                       const routing::RoutingConfig& routing);
+
+}  // namespace yardstick::netio

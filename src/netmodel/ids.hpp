@@ -1,0 +1,65 @@
+// Strongly-typed identifiers for network model entities.
+//
+// All ids are dense indices into the owning Network's vectors, wrapped in
+// distinct types so a RuleId cannot be passed where a DeviceId is expected.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+#include "packet/located_packet_set.hpp"
+
+namespace yardstick::net {
+
+template <class Tag>
+struct StrongId {
+  uint32_t value = UINT32_MAX;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(uint32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != UINT32_MAX; }
+
+  friend constexpr auto operator<=>(const StrongId&, const StrongId&) = default;
+};
+
+using DeviceId = StrongId<struct DeviceIdTag>;
+using InterfaceId = StrongId<struct InterfaceIdTag>;
+using LinkId = StrongId<struct LinkIdTag>;
+using RuleId = StrongId<struct RuleIdTag>;
+
+/// Interfaces double as packet locations: the LocationId of located packet
+/// sets is the interface's dense index. In addition, every device has a
+/// synthetic "local" location (counting down from the top of the id space)
+/// used when a test injects packets at a device without a specific ingress
+/// interface (local behavioral tests, §5.1).
+inline packet::LocationId to_location(InterfaceId id) { return id.value; }
+inline InterfaceId from_location(packet::LocationId loc) { return InterfaceId{loc}; }
+
+inline constexpr packet::LocationId kDeviceLocationBase = 0x80000000u;
+
+/// The device-local injection location of a device.
+inline packet::LocationId device_location(DeviceId id) {
+  return UINT32_MAX - 1 - id.value;
+}
+
+/// True if the location denotes a device-local injection point rather than
+/// an interface.
+inline bool is_device_location(packet::LocationId loc) {
+  return loc >= kDeviceLocationBase && loc != packet::kNoLocation;
+}
+
+/// Inverse of device_location. Precondition: is_device_location(loc).
+inline DeviceId device_of_location(packet::LocationId loc) {
+  return DeviceId{UINT32_MAX - 1 - loc};
+}
+
+}  // namespace yardstick::net
+
+template <class Tag>
+struct std::hash<yardstick::net::StrongId<Tag>> {
+  size_t operator()(const yardstick::net::StrongId<Tag>& id) const noexcept {
+    return std::hash<uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,163 @@
+// Forwarding rules: declarative match specifications plus actions.
+//
+// A rule's *match field* is what is written in the table (e.g. the prefix of
+// a route). Its *match set* — the packets it actually applies to once
+// higher-priority rules have consumed theirs — is computed by the dataplane
+// layer (§5.2 step 1) and is always a subset of the match field.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netmodel/ids.hpp"
+#include "packet/fields.hpp"
+#include "packet/prefix.hpp"
+
+namespace yardstick::net {
+
+/// Inclusive L4 port range.
+struct PortRange {
+  uint16_t lo = 0;
+  uint16_t hi = 65535;
+
+  friend auto operator<=>(const PortRange&, const PortRange&) = default;
+};
+
+/// Declarative match specification. Unset fields match anything.
+struct MatchSpec {
+  std::optional<packet::Ipv4Prefix> dst_prefix;
+  std::optional<packet::Ipv4Prefix> src_prefix;
+  std::optional<uint8_t> proto;
+  std::optional<PortRange> src_port;
+  std::optional<PortRange> dst_port;
+  /// Restrict to packets arriving on these interfaces (empty = any).
+  std::vector<InterfaceId> in_interfaces;
+
+  [[nodiscard]] static MatchSpec for_dst(const packet::Ipv4Prefix& p) {
+    MatchSpec m;
+    m.dst_prefix = p;
+    return m;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out;
+    if (dst_prefix) out += "dst=" + dst_prefix->to_string();
+    if (src_prefix) out += (out.empty() ? "" : ",") + ("src=" + src_prefix->to_string());
+    if (proto) out += (out.empty() ? "" : ",") + ("proto=" + std::to_string(*proto));
+    if (dst_port) {
+      out += (out.empty() ? "" : ",") +
+             ("dport=" + std::to_string(dst_port->lo) + "-" + std::to_string(dst_port->hi));
+    }
+    if (src_port) {
+      out += (out.empty() ? "" : ",") +
+             ("sport=" + std::to_string(src_port->lo) + "-" + std::to_string(src_port->hi));
+    }
+    return out.empty() ? "any" : out;
+  }
+};
+
+/// A single header-field rewrite applied by a rule's action.
+struct Rewrite {
+  packet::Field field;
+  uint64_t value;
+
+  friend bool operator==(const Rewrite&, const Rewrite&) = default;
+};
+
+enum class ActionType : uint8_t {
+  Forward,  // FIB: send out the listed interfaces (ECMP / multicast)
+  Drop,     // FIB null route or ACL explicit deny
+  Permit,   // ACL: pass the packet on to the forwarding table
+};
+
+/// What a rule does to matched packets. Forward actions may list multiple
+/// egress interfaces (ECMP / multicast per §4.1); Drop and Permit actions
+/// have none.
+struct Action {
+  ActionType type = ActionType::Drop;
+  std::vector<InterfaceId> out_interfaces;
+  std::vector<Rewrite> rewrites;
+
+  [[nodiscard]] static Action drop() { return {}; }
+
+  [[nodiscard]] static Action permit() {
+    Action a;
+    a.type = ActionType::Permit;
+    return a;
+  }
+
+  [[nodiscard]] static Action forward(std::vector<InterfaceId> out) {
+    Action a;
+    a.type = ActionType::Forward;
+    a.out_interfaces = std::move(out);
+    return a;
+  }
+};
+
+/// Which of a device's tables a rule lives in (§4.1: devices can carry
+/// multiple rule tables; we model an ingress ACL stage ahead of the FIB).
+enum class TableKind : uint8_t { Acl = 0, Fib = 1 };
+
+inline constexpr size_t kTableCount = 2;
+
+[[nodiscard]] inline const char* to_string(TableKind t) {
+  return t == TableKind::Acl ? "acl" : "fib";
+}
+
+/// Provenance of a forwarding rule — the route category that produced it.
+/// This is metadata used by the case study's gap analysis (§7.2) and by
+/// tests that target specific route classes; coverage math never reads it.
+enum class RouteKind : uint8_t {
+  Default,    // 0.0.0.0/0 learned or static
+  Internal,   // host subnets and loopbacks originated inside the region
+  Connected,  // /31 point-to-point link subnets
+  WideArea,   // routes learned from the WAN
+  DropRule,   // explicit discard (e.g. null route)
+  Security,   // ACL entries (permit/deny)
+  Other,
+};
+
+[[nodiscard]] inline const char* to_string(RouteKind k) {
+  switch (k) {
+    case RouteKind::Default: return "default";
+    case RouteKind::Internal: return "internal";
+    case RouteKind::Connected: return "connected";
+    case RouteKind::WideArea: return "wide-area";
+    case RouteKind::DropRule: return "drop";
+    case RouteKind::Security: return "security";
+    case RouteKind::Other: return "other";
+  }
+  return "?";
+}
+
+/// One match-action rule installed on a device. Rules within one of a
+/// device's tables form an ordered list (lower `priority` value wins;
+/// ties broken by insertion order).
+struct Rule {
+  RuleId id;
+  DeviceId device;
+  TableKind table = TableKind::Fib;
+  uint32_t priority = 0;
+  MatchSpec match;
+  Action action;
+  RouteKind kind = RouteKind::Other;
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out = "rule#" + std::to_string(id.value) + "[" + match.to_string() + " -> ";
+    if (action.type == ActionType::Drop) {
+      out += "drop";
+    } else {
+      out += "fwd(";
+      for (size_t i = 0; i < action.out_interfaces.size(); ++i) {
+        if (i) out += ",";
+        out += std::to_string(action.out_interfaces[i].value);
+      }
+      out += ")";
+    }
+    return out + "]";
+  }
+};
+
+}  // namespace yardstick::net

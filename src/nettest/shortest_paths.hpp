@@ -1,0 +1,29 @@
+// Shortest-path forwarding contracts.
+//
+// The §7.3 InternalRouteCheck (and the RCDC-style local tests) decompose
+// "internal destinations are routed along all topological shortest paths"
+// into per-device contracts: a device d hops from the originator must
+// forward the prefix to exactly its neighbors at distance d-1. This header
+// provides the BFS machinery shared by those tests.
+#pragma once
+
+#include <vector>
+
+#include "netmodel/network.hpp"
+
+namespace yardstick::nettest {
+
+inline constexpr int kUnreachable = -1;
+
+/// BFS hop distances from `origin` over fabric links (host/local/external
+/// ports do not carry fabric traffic). Index = DeviceId.
+[[nodiscard]] std::vector<int> fabric_distances(const net::Network& network,
+                                                net::DeviceId origin);
+
+/// The interfaces of `device` facing neighbors one hop closer to the
+/// origin — the expected ECMP next-hop set of the local contract. Empty
+/// when the device is the origin or cannot reach it.
+[[nodiscard]] std::vector<net::InterfaceId> contract_next_hops(
+    const net::Network& network, const std::vector<int>& distances, net::DeviceId device);
+
+}  // namespace yardstick::nettest

@@ -1,0 +1,183 @@
+#include "routing/bgp_sim.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace yardstick::routing {
+
+using packet::Ipv4Prefix;
+
+SimRib BgpSimulator::originated_entries(const net::Device& dev) const {
+  SimRib out;
+  const auto originate = [&](const Ipv4Prefix& p, net::RouteKind kind) {
+    SimRibEntry e;
+    e.prefix = p;
+    e.prefix_key = prefix_key(p);
+    e.kind = kind;
+    e.path_length = 0;
+    e.originated = true;
+    e.originator = dev.id;
+    out.push_back(std::move(e));
+  };
+
+  for (const Ipv4Prefix& p : dev.host_prefixes) originate(p, net::RouteKind::Internal);
+  for (const Ipv4Prefix& p : dev.loopbacks) originate(p, net::RouteKind::Internal);
+
+  if (dev.role == net::Role::Wan) {
+    if (config_.wan_originates_default) {
+      originate(packet::default_route_prefix(), net::RouteKind::Default);
+    }
+    const auto it = config_.wide_area_prefixes.find(dev.id);
+    if (it != config_.wide_area_prefixes.end()) {
+      for (const Ipv4Prefix& p : it->second) originate(p, net::RouteKind::WideArea);
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const SimRibEntry& a, const SimRibEntry& b) {
+              return a.prefix_key < b.prefix_key;
+            });
+  return out;
+}
+
+bool BgpSimulator::export_allowed(const SimRibEntry& entry, const net::Device& exporter,
+                                  const net::Device& receiver) const {
+  // A null-routed static default suppresses re-advertising the default —
+  // the §2 misconfiguration that disconnects the data center when its
+  // sibling border fails.
+  if (entry.prefix.length() == 0 && config_.null_default_devices.contains(exporter.id)) {
+    return false;
+  }
+  // Wide-area routes stay in the upper layers (§7.2): never advertised to
+  // a device below the spine tier.
+  if (config_.limit_wan_routes_to_upper_layers && entry.kind == net::RouteKind::WideArea &&
+      tier(receiver.role) < tier(net::Role::Spine)) {
+    return false;
+  }
+  return true;
+}
+
+bool BgpSimulator::import_allowed(const SimRibEntry& advert,
+                                  const net::Device& receiver) const {
+  // Hubs holding full wide-area tables run without any default route.
+  if (advert.prefix.length() == 0 && config_.no_default_devices.contains(receiver.id)) {
+    return false;
+  }
+  // allow-as-in: tolerate the local ASN in the path up to the configured
+  // count (§7.1); beyond that the advert is treated as a loop.
+  const int idx = tier(receiver.role) + 1;
+  return advert.asn_counts[static_cast<size_t>(idx)] <=
+         static_cast<uint8_t>(config_.allow_as_in);
+}
+
+std::vector<SimRib> BgpSimulator::run() {
+  const size_t n = network_.device_count();
+  std::vector<SimRib> ribs(n);
+  std::vector<SimRib> origin(n);
+  for (const net::Device& dev : network_.devices()) {
+    if (config_.failed_devices.contains(dev.id)) continue;
+    origin[dev.id.value] = originated_entries(dev);
+    ribs[dev.id.value] = origin[dev.id.value];
+  }
+
+  // Cache each device's neighbor list once; failed links and links to
+  // failed devices are down, and failed devices have no working links.
+  std::vector<std::vector<std::pair<net::InterfaceId, net::DeviceId>>> nbrs(n);
+  for (const net::Device& dev : network_.devices()) {
+    if (config_.failed_devices.contains(dev.id)) continue;
+    for (const auto& [intf, peer] : network_.neighbors(dev.id)) {
+      if (config_.link_usable(network_, intf)) {
+        nbrs[dev.id.value].emplace_back(intf, peer);
+      }
+    }
+  }
+
+  std::vector<bool> changed(n, true);
+  rounds_used_ = 0;
+
+  for (int round = 0; round < config_.max_rounds; ++round) {
+    ++rounds_used_;
+    bool any_change = false;
+    std::vector<SimRib> next(n);
+    std::vector<bool> next_changed(n, false);
+
+    for (const net::Device& dev : network_.devices()) {
+      const uint32_t v = dev.id.value;
+      // Skip recomputation when no neighbor's RIB moved last round.
+      bool neighbor_moved = false;
+      for (const auto& [intf, peer] : nbrs[v]) {
+        if (changed[peer.value]) {
+          neighbor_moved = true;
+          break;
+        }
+      }
+      if (!neighbor_moved) {
+        next[v] = ribs[v];
+        continue;
+      }
+
+      // Accumulate best candidates per prefix.
+      std::unordered_map<uint64_t, SimRibEntry> best;
+      best.reserve(ribs[v].size() + 16);
+      for (const SimRibEntry& e : origin[v]) best.emplace(e.prefix_key, e);
+
+      for (const auto& [intf, peer] : nbrs[v]) {
+        const net::Device& peer_dev = network_.device(peer);
+        const int peer_tier_idx = tier(peer_dev.role) + 1;
+        for (const SimRibEntry& entry : ribs[peer.value]) {
+          if (!export_allowed(entry, peer_dev, dev)) continue;
+          // Exporter prepends its ASN.
+          SimRibEntry advert = entry;
+          advert.path_length = static_cast<uint8_t>(entry.path_length + 1);
+          advert.asn_counts[static_cast<size_t>(peer_tier_idx)] =
+              static_cast<uint8_t>(advert.asn_counts[static_cast<size_t>(peer_tier_idx)] + 1);
+          if (!import_allowed(advert, dev)) continue;
+
+          auto [it, inserted] = best.try_emplace(advert.prefix_key, advert);
+          if (inserted) {
+            it->second.next_hops = {intf};
+            it->second.originated = false;
+            continue;
+          }
+          SimRibEntry& cur = it->second;
+          if (cur.originated || cur.path_length < advert.path_length) continue;
+          if (advert.path_length < cur.path_length) {
+            advert.next_hops = {intf};
+            advert.originated = false;
+            cur = advert;
+          } else {
+            cur.next_hops.push_back(intf);  // equal-cost multipath
+          }
+        }
+      }
+
+      SimRib fresh;
+      fresh.reserve(best.size());
+      for (auto& [key, entry] : best) fresh.push_back(std::move(entry));
+      std::sort(fresh.begin(), fresh.end(),
+                [](const SimRibEntry& a, const SimRibEntry& b) {
+                  return a.prefix_key < b.prefix_key;
+                });
+      // ECMP next-hop order must be deterministic for fixpoint comparison.
+      for (SimRibEntry& e : fresh) std::sort(e.next_hops.begin(), e.next_hops.end());
+
+      const bool same = fresh.size() == ribs[v].size() &&
+                        std::equal(fresh.begin(), fresh.end(), ribs[v].begin(),
+                                   [](const SimRibEntry& a, const SimRibEntry& b) {
+                                     return a.same_selection(b);
+                                   });
+      if (!same) {
+        any_change = true;
+        next_changed[v] = true;
+      }
+      next[v] = std::move(fresh);
+    }
+
+    ribs = std::move(next);
+    changed = std::move(next_changed);
+    if (!any_change) break;
+  }
+  return ribs;
+}
+
+}  // namespace yardstick::routing

@@ -1,0 +1,88 @@
+// Routing configuration knobs mirroring the §7.1 network design.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netmodel/network.hpp"
+#include "packet/prefix.hpp"
+
+namespace yardstick::routing {
+
+/// Hierarchy tier of a role; "northern" neighbors are those with a
+/// strictly higher tier (§7.1: the static default forwards to connected
+/// higher-layer neighbors).
+[[nodiscard]] inline int tier(net::Role role) {
+  switch (role) {
+    case net::Role::Host: return -1;
+    case net::Role::ToR: return 0;
+    case net::Role::Aggregation: return 1;
+    case net::Role::Spine: return 2;
+    case net::Role::RegionalHub: return 3;
+    case net::Role::Wan: return 4;
+    case net::Role::Other: return 0;
+  }
+  return 0;
+}
+
+/// Private ASN assigned to a role tier (§7.1: ASN by role, with
+/// allow-as-in so e.g. ToR1-Agg-ToR2 paths are accepted).
+[[nodiscard]] inline uint32_t role_asn(net::Role role) {
+  return 65000u + static_cast<uint32_t>(tier(role) + 1);
+}
+
+struct RoutingConfig {
+  /// Max occurrences of the local ASN tolerated in a received AS path.
+  int allow_as_in = 2;
+  /// Fixpoint iteration bound (diameters here are tiny; this is a backstop).
+  int max_rounds = 128;
+
+  /// Install the fail-safe static default route pointing at all northern
+  /// neighbors on every non-WAN router (§7.1).
+  bool static_northbound_default = true;
+
+  /// Devices whose static default route is a *null route* (discard). Such a
+  /// device also stops re-advertising any BGP-learned default — this is the
+  /// §2 motivating-example misconfiguration on border router B2.
+  std::unordered_set<net::DeviceId> null_default_devices;
+
+  /// Devices that carry no default route at all (neither static nor
+  /// BGP-learned). Models the §7.2 regional hubs that are "not expected to
+  /// have the default route" because they hold full wide-area tables.
+  std::unordered_set<net::DeviceId> no_default_devices;
+
+  /// What-if analysis: devices treated as failed. A failed device
+  /// originates nothing, exchanges no routes, and gets an empty FIB; its
+  /// links are down (no connected routes or static next hops through
+  /// them). Recomputing the FIBs with e.g. a border router here replays
+  /// the §2 outage without rebuilding the topology.
+  std::unordered_set<net::DeviceId> failed_devices;
+
+  /// What-if analysis: individual links treated as down (no adjacency, no
+  /// connected routes, no static next hops across them).
+  std::unordered_set<net::LinkId> failed_links;
+
+  /// True if the interface's link is usable under the failure sets.
+  [[nodiscard]] bool link_usable(const net::Network& network,
+                                 net::InterfaceId intf) const {
+    const net::Interface& i = network.interface(intf);
+    if (!i.peer.valid()) return true;  // edge ports have no link to fail
+    if (i.link.valid() && failed_links.contains(i.link)) return false;
+    return !failed_devices.contains(network.interface(i.peer).device);
+  }
+
+  /// WAN-learned (wide-area) routes are advertised down only as far as the
+  /// spine layer, never into aggregation/ToR layers (§7.2 category 3).
+  bool limit_wan_routes_to_upper_layers = true;
+
+  /// The WAN backbone originates the default route towards the region.
+  bool wan_originates_default = true;
+
+  /// Extra prefixes originated by specific devices as wide-area routes
+  /// (simulating routes learned from the Internet/backbone).
+  std::unordered_map<net::DeviceId, std::vector<packet::Ipv4Prefix>> wide_area_prefixes;
+};
+
+}  // namespace yardstick::routing

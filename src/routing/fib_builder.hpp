@@ -1,0 +1,35 @@
+// FIB construction: turn converged RIBs plus connected/static configuration
+// into per-device longest-prefix-match rule tables.
+//
+// Rule provenance (RouteKind) is recorded on every installed rule so the
+// case-study gap analysis (§7.2) can group untested rules into the paper's
+// categories: internal routes, connected routes, wide-area routes, and the
+// default route.
+#pragma once
+
+#include <vector>
+
+#include "netmodel/network.hpp"
+#include "routing/bgp_sim.hpp"
+#include "routing/config.hpp"
+
+namespace yardstick::routing {
+
+class FibBuilder {
+ public:
+  /// Install forwarding rules on every device of `network` from the
+  /// converged `ribs` (one per device) and the static/connected
+  /// configuration in `config`. Any existing rules are cleared first.
+  ///
+  /// Route preference follows administrative distance: connected (0)
+  /// beats static (1) beats eBGP (20) for the same prefix; distinct
+  /// prefixes coexist under longest-prefix-match ordering.
+  static void build(net::Network& network, const std::vector<SimRib>& ribs,
+                    const RoutingConfig& config);
+
+  /// Convenience: run the BGP simulator and build FIBs in one step.
+  static std::vector<SimRib> compute_and_build(net::Network& network,
+                                               const RoutingConfig& config);
+};
+
+}  // namespace yardstick::routing

@@ -1,0 +1,52 @@
+// BGP route and RIB types for the control-plane substrate.
+//
+// The paper's networks derive their forwarding state from eBGP (§7.1); this
+// module reproduces that substrate so the coverage system operates on
+// realistic FIBs (internal routes, connected routes, default routes,
+// wide-area routes — the exact categories the case study's gap analysis
+// turns on).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netmodel/network.hpp"
+#include "packet/prefix.hpp"
+
+namespace yardstick::routing {
+
+/// A BGP route as carried in an advertisement.
+struct BgpRoute {
+  packet::Ipv4Prefix prefix;
+  net::RouteKind kind = net::RouteKind::Other;
+  /// AS path, most-recently-prepended first (exporter prepends its ASN).
+  std::vector<uint32_t> as_path;
+  /// Devices the advertisement traversed (most recent first). Used for
+  /// loop suppression in the simulator: tier ASNs repeat legitimately
+  /// (allow-as-in, §7.1), but no device accepts its own advertisement back.
+  std::vector<net::DeviceId> device_path;
+  net::DeviceId originator;
+
+  [[nodiscard]] size_t path_length() const { return as_path.size(); }
+};
+
+/// Best-path set for one prefix at one device (ECMP across equal-length
+/// paths, §7.1).
+struct RibEntry {
+  packet::Ipv4Prefix prefix;
+  net::RouteKind kind = net::RouteKind::Other;
+  size_t path_length = 0;
+  /// Representative route (for diagnostics and further export).
+  BgpRoute route;
+  /// Egress interfaces towards every equal-cost next hop.
+  std::vector<net::InterfaceId> next_hops;
+  /// True if the device itself originates the prefix.
+  bool originated = false;
+};
+
+/// A device's routing information base: best routes keyed by prefix.
+using Rib = std::map<packet::Ipv4Prefix, RibEntry>;
+
+}  // namespace yardstick::routing

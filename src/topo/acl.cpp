@@ -1,0 +1,27 @@
+#include "topo/acl.hpp"
+
+namespace yardstick::topo {
+
+std::vector<net::RuleId> install_ingress_acls(net::Network& network,
+                                              const std::vector<net::DeviceId>& devices,
+                                              const SecurityPolicy& policy) {
+  std::vector<net::RuleId> installed;
+  for (const net::DeviceId device : devices) {
+    uint32_t priority = 0;
+    for (const uint16_t port : policy.blocked_tcp_ports) {
+      net::MatchSpec match;
+      match.proto = kTcp;
+      match.dst_port = net::PortRange{port, port};
+      installed.push_back(network.add_rule(device, std::move(match), net::Action::drop(),
+                                           net::RouteKind::Security, priority++,
+                                           net::TableKind::Acl));
+    }
+    // Final catch-all permit (otherwise the implicit deny eats the world).
+    installed.push_back(network.add_rule(device, net::MatchSpec{}, net::Action::permit(),
+                                         net::RouteKind::Security, priority,
+                                         net::TableKind::Acl));
+  }
+  return installed;
+}
+
+}  // namespace yardstick::topo

@@ -1,0 +1,32 @@
+// Ingress ACL installation for generated topologies.
+//
+// Models the security half of the Figure 2 taxonomy: edge routers carry an
+// ingress ACL that denies a handful of well-known-dangerous destination
+// ports and permits everything else. ACLs are device configuration, not
+// routing output — install them *after* FibBuilder has (re)built the
+// forwarding state, since rebuilding clears all rules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netmodel/network.hpp"
+
+namespace yardstick::topo {
+
+struct SecurityPolicy {
+  /// TCP destination ports denied at ingress (the paper's Fig. 2 example
+  /// blocks port 23).
+  std::vector<uint16_t> blocked_tcp_ports{23, 135, 139, 445};
+};
+
+inline constexpr uint8_t kTcp = 6;
+
+/// Install an ingress ACL on each listed device: one deny entry per
+/// blocked TCP port, then a final permit-everything entry. Returns the
+/// rule ids of every installed entry (denies first, per device).
+std::vector<net::RuleId> install_ingress_acls(net::Network& network,
+                                              const std::vector<net::DeviceId>& devices,
+                                              const SecurityPolicy& policy = {});
+
+}  // namespace yardstick::topo

@@ -1,0 +1,92 @@
+#include "topo/fattree.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "topo/subnets.hpp"
+
+namespace yardstick::topo {
+
+using net::DeviceId;
+using net::InterfaceId;
+using net::PortKind;
+using net::Role;
+using packet::Ipv4Prefix;
+
+FatTree make_fat_tree(const FatTreeParams& params) {
+  const int k = params.k;
+  if (k < 2 || k % 2 != 0) throw std::invalid_argument("fat-tree k must be even, >= 2");
+  const int half = k / 2;
+
+  FatTree tree;
+  net::Network& net = tree.network;
+  SubnetAllocator subnets;
+
+  // Core switches.
+  for (int i = 0; i < half * half; ++i) {
+    tree.cores.push_back(
+        net.add_device("core-" + std::to_string(i), Role::Spine, routing::role_asn(Role::Spine)));
+  }
+  // Pods: aggregation + edge (ToR).
+  for (int pod = 0; pod < k; ++pod) {
+    for (int a = 0; a < half; ++a) {
+      tree.aggs.push_back(net.add_device("agg-" + std::to_string(pod) + "-" + std::to_string(a),
+                                         Role::Aggregation,
+                                         routing::role_asn(Role::Aggregation)));
+    }
+    for (int t = 0; t < half; ++t) {
+      const DeviceId tor = net.add_device(
+          "tor-" + std::to_string(pod) + "-" + std::to_string(t), Role::ToR,
+          routing::role_asn(Role::ToR));
+      tree.tors.push_back(tor);
+      // One hosted prefix and one host port per ToR (§8.1).
+      net.device(tor).host_prefixes.push_back(subnets.next_host_prefix());
+      net.add_interface(tor, "host0", PortKind::HostPort);
+    }
+  }
+
+  const auto connect = [&](DeviceId a, DeviceId b) {
+    const InterfaceId ia =
+        net.add_interface(a, "eth" + std::to_string(net.device(a).interfaces.size()));
+    const InterfaceId ib =
+        net.add_interface(b, "eth" + std::to_string(net.device(b).interfaces.size()));
+    net.add_link(ia, ib, subnets.next_link_subnet());
+  };
+
+  // Pod wiring: each ToR to every agg of its pod; agg j to cores
+  // [j*half, (j+1)*half).
+  for (int pod = 0; pod < k; ++pod) {
+    for (int t = 0; t < half; ++t) {
+      for (int a = 0; a < half; ++a) {
+        connect(tree.tors[pod * half + t], tree.aggs[pod * half + a]);
+      }
+    }
+    for (int a = 0; a < half; ++a) {
+      for (int c = 0; c < half; ++c) {
+        connect(tree.aggs[pod * half + a], tree.cores[a * half + c]);
+      }
+    }
+  }
+
+  if (params.with_loopbacks) {
+    for (const net::Device& dev : net.devices()) {
+      const DeviceId id = dev.id;
+      net.device(id).loopbacks.push_back(subnets.next_loopback());
+      net.add_interface(id, "local0", PortKind::LocalPort);
+    }
+  }
+
+  if (params.with_wan) {
+    tree.wan = net.add_device("wan-0", Role::Wan, routing::role_asn(Role::Wan));
+    net.add_interface(tree.wan, "internet0", PortKind::ExternalPort);
+    for (const DeviceId core : tree.cores) connect(core, tree.wan);
+    auto& wide_area = tree.routing.wide_area_prefixes[tree.wan];
+    for (int i = 0; i < params.wide_area_prefix_count; ++i) {
+      wide_area.push_back(subnets.next_wide_area_prefix());
+    }
+  }
+
+  return tree;
+}
+
+}  // namespace yardstick::topo

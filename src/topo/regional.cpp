@@ -1,0 +1,108 @@
+#include "topo/regional.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "topo/subnets.hpp"
+
+namespace yardstick::topo {
+
+using net::DeviceId;
+using net::InterfaceId;
+using net::PortKind;
+using net::Role;
+
+RegionalNetwork make_regional(const RegionalParams& p) {
+  if (p.datacenters < 1 || p.pods_per_dc < 1 || p.tors_per_pod < 1 || p.aggs_per_pod < 1 ||
+      p.spines_per_dc < 1 || p.hubs < 1 || p.wans < 1 || p.host_ports_per_tor < 1) {
+    throw std::invalid_argument("regional network parameters must be positive");
+  }
+
+  RegionalNetwork region;
+  net::Network& net = region.network;
+  SubnetAllocator subnets;
+
+  const auto connect = [&](DeviceId a, DeviceId b) {
+    const InterfaceId ia =
+        net.add_interface(a, "eth" + std::to_string(net.device(a).interfaces.size()));
+    const InterfaceId ib =
+        net.add_interface(b, "eth" + std::to_string(net.device(b).interfaces.size()));
+    net.add_link(ia, ib, subnets.next_link_subnet());
+  };
+
+  const auto finish_router = [&](DeviceId id) {
+    // Every router gets a loopback (redistributed into eBGP, §7.1) and the
+    // local port its loopback traffic terminates on.
+    net.device(id).loopbacks.push_back(subnets.next_loopback());
+    net.add_interface(id, "local0", PortKind::LocalPort);
+  };
+
+  // Regional layers: hubs and WAN backbone routers.
+  for (int h = 0; h < p.hubs; ++h) {
+    const DeviceId hub = net.add_device("hub-" + std::to_string(h), Role::RegionalHub,
+                                        routing::role_asn(Role::RegionalHub));
+    region.hubs.push_back(hub);
+    finish_router(hub);
+    if (h < p.hubs_without_default) region.routing.no_default_devices.insert(hub);
+  }
+  for (int w = 0; w < p.wans; ++w) {
+    const DeviceId wan =
+        net.add_device("wan-" + std::to_string(w), Role::Wan, routing::role_asn(Role::Wan));
+    region.wans.push_back(wan);
+    finish_router(wan);
+    net.add_interface(wan, "internet0", PortKind::ExternalPort);
+    auto& wide_area = region.routing.wide_area_prefixes[wan];
+    for (int i = 0; i < p.wide_area_prefix_count; ++i) {
+      wide_area.push_back(subnets.next_wide_area_prefix());
+    }
+  }
+  // Full mesh hub <-> WAN.
+  for (const DeviceId hub : region.hubs) {
+    for (const DeviceId wan : region.wans) connect(hub, wan);
+  }
+
+  // Datacenters.
+  for (int d = 0; d < p.datacenters; ++d) {
+    const std::string dc = "dc" + std::to_string(d);
+    std::vector<DeviceId> spines;
+    for (int s = 0; s < p.spines_per_dc; ++s) {
+      const DeviceId spine = net.add_device(dc + "-spine-" + std::to_string(s), Role::Spine,
+                                            routing::role_asn(Role::Spine));
+      spines.push_back(spine);
+      region.spines.push_back(spine);
+      finish_router(spine);
+      for (const DeviceId hub : region.hubs) connect(spine, hub);
+    }
+    for (int pod = 0; pod < p.pods_per_dc; ++pod) {
+      std::vector<DeviceId> aggs;
+      for (int a = 0; a < p.aggs_per_pod; ++a) {
+        const DeviceId agg = net.add_device(
+            dc + "-pod" + std::to_string(pod) + "-agg-" + std::to_string(a),
+            Role::Aggregation, routing::role_asn(Role::Aggregation));
+        aggs.push_back(agg);
+        region.aggs.push_back(agg);
+        finish_router(agg);
+        for (const DeviceId spine : spines) connect(agg, spine);
+      }
+      for (int t = 0; t < p.tors_per_pod; ++t) {
+        const DeviceId tor = net.add_device(
+            dc + "-pod" + std::to_string(pod) + "-tor-" + std::to_string(t), Role::ToR,
+            routing::role_asn(Role::ToR));
+        region.tors.push_back(tor);
+        finish_router(tor);
+        for (const DeviceId agg : aggs) connect(tor, agg);
+        // Host ports, each with its own hosted subnet (§7.1: ToRs connect
+        // hosts on Ethernet interfaces with assigned subnets and advertise
+        // aggregated prefixes for them).
+        for (int hp = 0; hp < p.host_ports_per_tor; ++hp) {
+          net.add_interface(tor, "host" + std::to_string(hp), PortKind::HostPort);
+          net.device(tor).host_prefixes.push_back(subnets.next_host_prefix());
+        }
+      }
+    }
+  }
+
+  return region;
+}
+
+}  // namespace yardstick::topo

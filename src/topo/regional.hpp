@@ -1,0 +1,56 @@
+// Regional multi-datacenter network generator (§7.1).
+//
+// Topology: per datacenter, a hierarchical Clos of ToR -> pod aggregation
+// -> spine; spines of every datacenter connect to a shared layer of
+// regional hub routers, which in turn connect to wide-area (WAN) backbone
+// routers. All routers run eBGP with per-tier private ASNs and carry the
+// fail-safe static northbound default; every router has a loopback
+// redistributed into BGP; links carry /31 subnets that are never
+// redistributed. WAN routers announce the default route plus wide-area
+// prefixes that are only leaked down to the spine layer.
+//
+// This is the synthetic stand-in for the Azure production network of the
+// case study: every route category whose testing gaps §7.2 reports
+// (internal, connected, wide-area, default) exists here.
+#pragma once
+
+#include <vector>
+
+#include "netmodel/network.hpp"
+#include "routing/config.hpp"
+
+namespace yardstick::topo {
+
+struct RegionalParams {
+  int datacenters = 2;
+  int pods_per_dc = 2;
+  int tors_per_pod = 4;
+  int aggs_per_pod = 2;
+  int spines_per_dc = 4;
+  int hubs = 4;
+  int wans = 2;
+  /// Host ports (each with its own hosted /24) per ToR. ToR port counts
+  /// are host-dominated in practice, which is why ToR interface coverage
+  /// stays low until host-facing tests exist (§7.3).
+  int host_ports_per_tor = 5;
+  int wide_area_prefix_count = 16;
+  /// Hubs configured without any default route (they hold full wide-area
+  /// tables); DefaultRouteCheck excludes them (§7.2, Fig. 6a).
+  int hubs_without_default = 1;
+};
+
+struct RegionalNetwork {
+  net::Network network;
+  routing::RoutingConfig routing;
+  std::vector<net::DeviceId> tors;
+  std::vector<net::DeviceId> aggs;
+  std::vector<net::DeviceId> spines;
+  std::vector<net::DeviceId> hubs;
+  std::vector<net::DeviceId> wans;
+};
+
+/// Build the topology and routing configuration. Install forwarding state
+/// with routing::FibBuilder::compute_and_build(net.network, net.routing).
+[[nodiscard]] RegionalNetwork make_regional(const RegionalParams& params);
+
+}  // namespace yardstick::topo

@@ -1,0 +1,48 @@
+// Address-space allocator shared by the topology generators.
+//
+// Carves disjoint regions for the different route categories so generated
+// networks never have accidental prefix collisions:
+//   host subnets     10.0.0.0/9     (one /24 per allocation)
+//   loopbacks        10.128.0.0/9   (one /32 per allocation)
+//   link subnets     172.16.0.0/12  (one /31 per allocation)
+//   wide-area space  100.64.0.0/10  (one /16 per allocation)
+#pragma once
+
+#include <stdexcept>
+
+#include "packet/prefix.hpp"
+
+namespace yardstick::topo {
+
+class SubnetAllocator {
+ public:
+  [[nodiscard]] packet::Ipv4Prefix next_host_prefix() {
+    if (host_index_ >= (1u << 15)) throw std::runtime_error("host prefix space exhausted");
+    return packet::Ipv4Prefix(0x0A000000u, 9).subnet(24, host_index_++);
+  }
+
+  [[nodiscard]] packet::Ipv4Prefix next_loopback() {
+    if (loopback_index_ >= (1u << 23)) throw std::runtime_error("loopback space exhausted");
+    return packet::Ipv4Prefix(0x0A800000u, 9).subnet(32, loopback_index_++);
+  }
+
+  [[nodiscard]] packet::Ipv4Prefix next_link_subnet() {
+    if (link_index_ >= (1u << 19)) throw std::runtime_error("link subnet space exhausted");
+    return packet::Ipv4Prefix(0xAC100000u, 12).subnet(31, link_index_++);
+  }
+
+  [[nodiscard]] packet::Ipv4Prefix next_wide_area_prefix() {
+    if (wide_area_index_ >= (1u << 6)) {
+      throw std::runtime_error("wide-area prefix space exhausted");
+    }
+    return packet::Ipv4Prefix(0x64400000u, 10).subnet(16, wide_area_index_++);
+  }
+
+ private:
+  uint32_t host_index_ = 0;
+  uint32_t loopback_index_ = 0;
+  uint32_t link_index_ = 0;
+  uint32_t wide_area_index_ = 0;
+};
+
+}  // namespace yardstick::topo

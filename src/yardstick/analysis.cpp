@@ -1,0 +1,109 @@
+#include "yardstick/analysis.hpp"
+
+#include <algorithm>
+
+#include "coverage/components.hpp"
+#include "coverage/covered_sets.hpp"
+#include "dataplane/match_sets.hpp"
+#include "yardstick/tracker.hpp"
+
+namespace yardstick::ys {
+
+double SuiteAnalyzer::rule_coverage_of(const coverage::CoverageTrace& trace) const {
+  // A fresh index per evaluation keeps the analyzer self-contained; the
+  // BDD manager's caches make repeated construction cheap.
+  const dataplane::MatchSetIndex index(mgr_, network_);
+  const dataplane::Transfer transfer(index);
+  const coverage::CoveredSets covered(index, trace);
+  const coverage::ComponentFactory factory(transfer);
+  return coverage::collection_coverage(covered, factory.all_rules(),
+                                       coverage::fractional_aggregator());
+}
+
+SuiteAnalysis SuiteAnalyzer::analyze(const dataplane::Transfer& transfer,
+                                     const nettest::TestSuite& suite,
+                                     double epsilon) const {
+  const size_t n = suite.size();
+  SuiteAnalysis analysis;
+  analysis.tests.resize(n);
+
+  // Run each test in isolation.
+  std::vector<coverage::CoverageTrace> traces(n);
+  for (size_t i = 0; i < n; ++i) {
+    CoverageTracker tracker;
+    (void)suite.test(i).run(transfer, tracker);
+    traces[i] = tracker.trace();
+    analysis.tests[i].name = suite.test(i).name();
+    analysis.tests[i].solo = rule_coverage_of(traces[i]);
+  }
+
+  // Full-suite coverage and leave-one-out marginals.
+  const auto merged = [&](const std::vector<bool>& include) {
+    coverage::CoverageTrace acc;
+    for (size_t i = 0; i < n; ++i) {
+      if (include[i]) acc.merge(traces[i]);
+    }
+    return acc;
+  };
+  std::vector<bool> all(n, true);
+  analysis.full = rule_coverage_of(merged(all));
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<bool> without = all;
+    without[i] = false;
+    const double rest = rule_coverage_of(merged(without));
+    analysis.tests[i].marginal = analysis.full - rest;
+    analysis.tests[i].redundant = analysis.tests[i].marginal <= epsilon;
+  }
+
+  // Greedy maximum-marginal ordering.
+  std::vector<bool> selected(n, false);
+  coverage::CoverageTrace running;
+  double current = rule_coverage_of(running);
+  for (size_t step = 0; step < n; ++step) {
+    double best_gain = -1.0;
+    size_t best = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (selected[i]) continue;
+      coverage::CoverageTrace candidate = running;
+      candidate.merge(traces[i]);
+      const double gain = rule_coverage_of(candidate) - current;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    selected[best] = true;
+    running.merge(traces[best]);
+    current += best_gain;
+    analysis.greedy_order.push_back(best);
+    analysis.greedy_cumulative.push_back(current);
+  }
+  return analysis;
+}
+
+std::string TestSuggestion::to_string(const net::Network& network) const {
+  return "inject at " + network.device(device).name + ": " + sample.to_string() +
+         " (exercises " + network.rule(rule).to_string() + ")";
+}
+
+std::vector<TestSuggestion> suggest_tests(const CoverageEngine& engine,
+                                          size_t max_suggestions,
+                                          const DeviceFilter& filter) {
+  std::vector<TestSuggestion> out;
+  const net::Network& network = engine.network();
+  for (const net::RuleId rid : engine.untested_rules(filter)) {
+    if (out.size() >= max_suggestions) break;
+    const net::Rule& rule = network.rule(rid);
+    // Sample from the space behavioral tests can actually reach: the
+    // disjoint match set, clipped by the ACL stage for FIB rules.
+    packet::PacketSet space = engine.match_sets().match_set(rid);
+    if (rule.table == net::TableKind::Fib && network.has_acl(rule.device)) {
+      space = space.intersect(engine.match_sets().acl_permitted_space(rule.device));
+    }
+    if (space.empty()) continue;  // only state inspection can cover it
+    out.push_back({rid, rule.device, space.sample()});
+  }
+  return out;
+}
+
+}  // namespace yardstick::ys

@@ -1,0 +1,83 @@
+// Test-suite analysis on top of coverage.
+//
+// The paper's closing §7.2 point: Yardstick lets engineers focus on "the
+// creation of new tests that provably improve coverage — rather than on
+// development of redundant tests that do little to find additional
+// errors". This module operationalizes that:
+//
+//   * SuiteAnalyzer — per-test coverage contributions: what each test
+//     covers alone, what it adds on top of the rest of the suite
+//     (marginal value), which tests are redundant, and a greedy
+//     maximum-marginal ordering (the classic set-cover heuristic) that
+//     tells engineers which tests to run first under a time budget.
+//   * suggest_tests — coverage-guided test synthesis: one concrete sample
+//     packet per untested rule, ready to be turned into a probe.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nettest/test.hpp"
+#include "yardstick/engine.hpp"
+
+namespace yardstick::ys {
+
+struct TestContribution {
+  std::string name;
+  /// Fractional rule coverage of this test run by itself.
+  double solo = 0.0;
+  /// Coverage the full suite loses if this test is removed.
+  double marginal = 0.0;
+  /// True when removing the test changes nothing (within epsilon).
+  bool redundant = false;
+};
+
+struct SuiteAnalysis {
+  std::vector<TestContribution> tests;
+  /// Test indices in greedy maximum-marginal order: running the suite in
+  /// this order front-loads coverage.
+  std::vector<size_t> greedy_order;
+  /// Cumulative fractional rule coverage after each greedy step.
+  std::vector<double> greedy_cumulative;
+  /// Fractional rule coverage of the whole suite.
+  double full = 0.0;
+};
+
+class SuiteAnalyzer {
+ public:
+  SuiteAnalyzer(bdd::BddManager& mgr, const net::Network& network)
+      : mgr_(mgr), network_(network) {}
+
+  /// Runs every test of `suite` in isolation (each gets its own trace)
+  /// and computes contributions against fractional rule coverage.
+  /// Cost: O(n) test runs + O(n^2) covered-set computations.
+  [[nodiscard]] SuiteAnalysis analyze(const dataplane::Transfer& transfer,
+                                      const nettest::TestSuite& suite,
+                                      double epsilon = 1e-12) const;
+
+ private:
+  [[nodiscard]] double rule_coverage_of(const coverage::CoverageTrace& trace) const;
+
+  bdd::BddManager& mgr_;
+  const net::Network& network_;
+};
+
+/// A synthesized probe for an untested rule.
+struct TestSuggestion {
+  net::RuleId rule;
+  net::DeviceId device;
+  packet::ConcretePacket sample;  // one packet that exercises the rule
+
+  [[nodiscard]] std::string to_string(const net::Network& network) const;
+};
+
+/// Coverage-guided suggestions: for up to `max_suggestions` untested
+/// rules (optionally filtered by device), sample a concrete packet from
+/// the rule's exercisable space — its disjoint match set clipped by the
+/// device's ACL-permitted space. Rules whose exercisable space is empty
+/// (reachable only via state inspection) are skipped.
+[[nodiscard]] std::vector<TestSuggestion> suggest_tests(
+    const CoverageEngine& engine, size_t max_suggestions = 16,
+    const DeviceFilter& filter = nullptr);
+
+}  // namespace yardstick::ys

@@ -1,0 +1,170 @@
+#include "yardstick/engine.hpp"
+
+#include <chrono>
+
+namespace yardstick::ys {
+
+using coverage::ComponentSpec;
+
+CoverageEngine::CoverageEngine(bdd::BddManager& mgr, const net::Network& network,
+                               const coverage::CoverageTrace& trace)
+    : network_(network),
+      index_(mgr, network),
+      transfer_(index_),
+      covered_(index_, trace),
+      factory_(transfer_) {}
+
+double CoverageEngine::rule_coverage(net::RuleId id) const {
+  return coverage::component_coverage(covered_, factory_.rule(id));
+}
+
+double CoverageEngine::device_coverage(net::DeviceId id) const {
+  return coverage::component_coverage(covered_, factory_.device(id));
+}
+
+double CoverageEngine::interface_coverage(net::InterfaceId id,
+                                          coverage::InterfaceDirection direction) const {
+  return coverage::component_coverage(covered_, factory_.interface(id, direction));
+}
+
+double CoverageEngine::flow_coverage(net::DeviceId device, net::InterfaceId in_interface,
+                                     const packet::PacketSet& headers) const {
+  return coverage::component_coverage(covered_,
+                                      factory_.flow(device, in_interface, headers));
+}
+
+std::vector<net::DeviceId> CoverageEngine::filtered_devices(
+    const DeviceFilter& filter) const {
+  std::vector<net::DeviceId> out;
+  for (const net::Device& d : network_.devices()) {
+    if (!filter || filter(d)) out.push_back(d.id);
+  }
+  return out;
+}
+
+double CoverageEngine::rules_coverage(const coverage::Aggregator& aggregate,
+                                      const DeviceFilter& filter) const {
+  return coverage::collection_coverage(covered_, factory_.all_rules(filtered_devices(filter)),
+                                       aggregate);
+}
+
+double CoverageEngine::devices_coverage(const coverage::Aggregator& aggregate,
+                                        const DeviceFilter& filter) const {
+  return coverage::collection_coverage(
+      covered_, factory_.all_devices(filtered_devices(filter)), aggregate);
+}
+
+double CoverageEngine::interfaces_coverage(const coverage::Aggregator& aggregate,
+                                           const DeviceFilter& filter,
+                                           coverage::InterfaceDirection direction) const {
+  return coverage::collection_coverage(
+      covered_, factory_.all_interfaces(filtered_devices(filter), direction), aggregate);
+}
+
+PathCoverageResult CoverageEngine::path_coverage(coverage::PathExplorerOptions options,
+                                                 double deadline_seconds) const {
+  PathCoverageResult result;
+  const coverage::PathExplorer explorer(transfer_, &covered_, options);
+  const auto start = std::chrono::steady_clock::now();
+  const uint64_t emitted =
+      explorer.explore_universe([&](const coverage::ExploredPath& path) {
+        ++result.total_paths;
+        if (path.covered_ratio > 0.0) ++result.covered_paths;
+        result.mean += path.covered_ratio;
+        if (deadline_seconds > 0.0 && (result.total_paths & 0x3ff) == 0) {
+          const std::chrono::duration<double> elapsed =
+              std::chrono::steady_clock::now() - start;
+          if (elapsed.count() > deadline_seconds) {
+            result.truncated = true;
+            return false;
+          }
+        }
+        return true;
+      });
+  if (options.max_paths != 0 && emitted >= options.max_paths) result.truncated = true;
+  if (result.total_paths > 0) {
+    result.fractional = static_cast<double>(result.covered_paths) /
+                        static_cast<double>(result.total_paths);
+    result.mean /= static_cast<double>(result.total_paths);
+  }
+  return result;
+}
+
+std::vector<net::RuleId> CoverageEngine::untested_rules(const DeviceFilter& filter) const {
+  std::vector<net::RuleId> out;
+  for (const net::Device& dev : network_.devices()) {
+    if (filter && !filter(dev)) continue;
+    for (const net::TableKind table : {net::TableKind::Acl, net::TableKind::Fib}) {
+      for (const net::RuleId rid : network_.table(dev.id, table)) {
+        if (index_.match_set(rid).empty()) continue;  // shadowed: vacuous
+        if (covered_.covered(rid).empty()) out.push_back(rid);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<net::InterfaceId> CoverageEngine::untested_interfaces(
+    const DeviceFilter& filter) const {
+  std::vector<net::InterfaceId> out;
+  for (const net::Device& dev : network_.devices()) {
+    if (filter && !filter(dev)) continue;
+    for (const net::InterfaceId intf : dev.interfaces) {
+      if (interface_coverage(intf) == 0.0) out.push_back(intf);
+    }
+  }
+  return out;
+}
+
+MetricRow CoverageEngine::metrics(const DeviceFilter& filter) const {
+  MetricRow row;
+  row.device_fractional = devices_coverage(coverage::fractional_aggregator(), filter);
+  row.interface_fractional = interfaces_coverage(coverage::fractional_aggregator(), filter);
+  row.rule_fractional = rules_coverage(coverage::fractional_aggregator(), filter);
+  row.rule_weighted = rules_coverage(coverage::weighted_average_aggregator(), filter);
+  return row;
+}
+
+CoverageReport CoverageEngine::report() const {
+  CoverageReport report;
+  const auto metrics_for = [&](const DeviceFilter& filter) { return metrics(filter); };
+
+  report.overall = metrics_for(nullptr);
+
+  // Per-role breakdown in hierarchy order, only for roles that exist.
+  for (const net::Role role :
+       {net::Role::ToR, net::Role::Aggregation, net::Role::Spine, net::Role::RegionalHub,
+        net::Role::Wan, net::Role::Other}) {
+    const std::vector<net::DeviceId> members = network_.devices_with_role(role);
+    if (members.empty()) continue;
+    RoleBreakdown row;
+    row.role = role;
+    row.device_count = members.size();
+    for (const net::DeviceId id : members) {
+      row.interface_count += network_.device(id).interfaces.size();
+      row.rule_count += network_.table(id, net::TableKind::Acl).size() +
+                        network_.table(id, net::TableKind::Fib).size();
+    }
+    row.metrics = metrics_for(role_filter(role));
+    report.by_role.push_back(row);
+  }
+
+  // Gap analysis: untested rules grouped by provenance (§7.2).
+  std::map<net::RouteKind, RuleGap> gaps;
+  for (const net::Rule& rule : network_.rules()) {
+    if (index_.match_set(rule.id).empty()) continue;
+    RuleGap& gap = gaps[rule.kind];
+    gap.kind = rule.kind;
+    ++gap.total;
+    if (covered_.covered(rule.id).empty()) ++gap.untested;
+  }
+  for (const auto& [kind, gap] : gaps) report.gaps.push_back(gap);
+
+  for (const net::Device& dev : network_.devices()) {
+    if (device_coverage(dev.id) == 0.0) ++report.untested_device_count;
+  }
+  report.untested_interface_count = untested_interfaces().size();
+  return report;
+}
+
+}  // namespace yardstick::ys

@@ -1,0 +1,114 @@
+// CoverageEngine — Yardstick's post-processing phase (§5.2).
+//
+// Given a network snapshot and the coverage trace collected online, the
+// engine runs the three steps of §5.2:
+//   1. compute disjoint rule match sets (MatchSetIndex),
+//   2. compute covered sets T[r] (Algorithm 1),
+//   3. compute the requested component and collection metrics via the
+//      (G, µ, κ, α) framework.
+//
+// Metric computation is deliberately off the testing path: the engine can
+// be constructed at any time after tests finish, and users can keep asking
+// it new questions (different components, filters, aggregations) against
+// the same trace.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "coverage/components.hpp"
+#include "coverage/covered_sets.hpp"
+#include "coverage/path_explorer.hpp"
+#include "coverage/trace.hpp"
+#include "dataplane/transfer.hpp"
+#include "yardstick/report.hpp"
+
+namespace yardstick::ys {
+
+/// Restricts a metric to a subset of devices (§6: users can zoom in on,
+/// say, only leaf routers). Null filter = every device.
+using DeviceFilter = std::function<bool(const net::Device&)>;
+
+/// Result of a path-universe sweep (Figure 9's most expensive metric).
+struct PathCoverageResult {
+  uint64_t total_paths = 0;
+  uint64_t covered_paths = 0;  // paths with non-zero Equation-(3) coverage
+  double fractional = 0.0;     // covered_paths / total_paths
+  double mean = 0.0;           // unweighted mean of per-path coverage
+  bool truncated = false;      // hit the max_paths budget
+};
+
+class CoverageEngine {
+ public:
+  /// Runs steps 1 and 2 (match sets + covered sets) immediately; metric
+  /// queries afterwards are step 3.
+  CoverageEngine(bdd::BddManager& mgr, const net::Network& network,
+                 const coverage::CoverageTrace& trace);
+
+  // --- Single-component metrics ---
+  [[nodiscard]] double rule_coverage(net::RuleId id) const;
+  [[nodiscard]] double device_coverage(net::DeviceId id) const;
+  [[nodiscard]] double interface_coverage(
+      net::InterfaceId id,
+      coverage::InterfaceDirection direction = coverage::InterfaceDirection::Outgoing) const;
+  [[nodiscard]] double flow_coverage(net::DeviceId device, net::InterfaceId in_interface,
+                                     const packet::PacketSet& headers) const;
+
+  // --- Collection metrics (Equation 2) ---
+  [[nodiscard]] double rules_coverage(const coverage::Aggregator& aggregate,
+                                      const DeviceFilter& filter = nullptr) const;
+  [[nodiscard]] double devices_coverage(const coverage::Aggregator& aggregate,
+                                        const DeviceFilter& filter = nullptr) const;
+  [[nodiscard]] double interfaces_coverage(
+      const coverage::Aggregator& aggregate, const DeviceFilter& filter = nullptr,
+      coverage::InterfaceDirection direction = coverage::InterfaceDirection::Outgoing) const;
+
+  /// Full path-universe sweep; expensive (§8.2). `options.max_paths`
+  /// bounds the work; `deadline_seconds` stops the sweep after a wall-time
+  /// budget (0 = none), reporting the result truncated.
+  [[nodiscard]] PathCoverageResult path_coverage(coverage::PathExplorerOptions options = {},
+                                                 double deadline_seconds = 0.0) const;
+
+  // --- Reports ---
+
+  /// The four headline metrics for an arbitrary device subset — the §3.1
+  /// "what do our tests say about a particular pod?" query. Null filter =
+  /// the whole network.
+  [[nodiscard]] MetricRow metrics(const DeviceFilter& filter = nullptr) const;
+
+  /// The standard report: overall + per-role breakdown + gap analysis.
+  [[nodiscard]] CoverageReport report() const;
+
+  /// Rules with zero coverage, optionally filtered (gap drill-down §7.2).
+  [[nodiscard]] std::vector<net::RuleId> untested_rules(
+      const DeviceFilter& filter = nullptr) const;
+
+  /// Interfaces with zero outgoing coverage.
+  [[nodiscard]] std::vector<net::InterfaceId> untested_interfaces(
+      const DeviceFilter& filter = nullptr) const;
+
+  // --- Internals exposed for tests, benches and advanced queries ---
+  [[nodiscard]] const dataplane::MatchSetIndex& match_sets() const { return index_; }
+  [[nodiscard]] const dataplane::Transfer& transfer() const { return transfer_; }
+  [[nodiscard]] const coverage::CoveredSets& covered_sets() const { return covered_; }
+  [[nodiscard]] const coverage::ComponentFactory& components() const { return factory_; }
+  [[nodiscard]] const net::Network& network() const { return network_; }
+
+ private:
+  [[nodiscard]] std::vector<net::DeviceId> filtered_devices(const DeviceFilter& filter) const;
+
+  const net::Network& network_;
+  dataplane::MatchSetIndex index_;
+  dataplane::Transfer transfer_;
+  coverage::CoveredSets covered_;
+  coverage::ComponentFactory factory_;
+};
+
+/// Convenience device filter: keep only devices of one role.
+[[nodiscard]] inline DeviceFilter role_filter(net::Role role) {
+  return [role](const net::Device& d) { return d.role == role; };
+}
+
+}  // namespace yardstick::ys

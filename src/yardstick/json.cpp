@@ -1,0 +1,87 @@
+#include "yardstick/json.hpp"
+
+#include <sstream>
+
+namespace yardstick::ys {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void metric_row(std::ostringstream& out, const MetricRow& m) {
+  out << "{\"device_fractional\":" << m.device_fractional
+      << ",\"interface_fractional\":" << m.interface_fractional
+      << ",\"rule_fractional\":" << m.rule_fractional
+      << ",\"rule_weighted\":" << m.rule_weighted << "}";
+}
+
+}  // namespace
+
+std::string report_to_json(const CoverageReport& report) {
+  std::ostringstream out;
+  out << "{\"overall\":";
+  metric_row(out, report.overall);
+  out << ",\"by_role\":[";
+  for (size_t i = 0; i < report.by_role.size(); ++i) {
+    const RoleBreakdown& row = report.by_role[i];
+    if (i) out << ",";
+    out << "{\"role\":\"" << to_string(row.role) << "\",\"devices\":" << row.device_count
+        << ",\"interfaces\":" << row.interface_count << ",\"rules\":" << row.rule_count
+        << ",\"metrics\":";
+    metric_row(out, row.metrics);
+    out << "}";
+  }
+  out << "],\"gaps\":[";
+  for (size_t i = 0; i < report.gaps.size(); ++i) {
+    if (i) out << ",";
+    out << "{\"kind\":\"" << to_string(report.gaps[i].kind)
+        << "\",\"untested\":" << report.gaps[i].untested
+        << ",\"total\":" << report.gaps[i].total << "}";
+  }
+  out << "],\"untested_devices\":" << report.untested_device_count
+      << ",\"untested_interfaces\":" << report.untested_interface_count << "}";
+  return out.str();
+}
+
+std::string results_to_json(const std::vector<nettest::TestResult>& results) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const nettest::TestResult& r = results[i];
+    if (i) out << ",";
+    out << "{\"name\":\"" << escape(r.name) << "\",\"category\":\""
+        << to_string(r.category) << "\",\"checks\":" << r.checks
+        << ",\"failures\":" << r.failures << ",\"passed\":" << (r.passed() ? "true" : "false")
+        << ",\"messages\":[";
+    for (size_t j = 0; j < r.failure_messages.size(); ++j) {
+      if (j) out << ",";
+      out << "\"" << escape(r.failure_messages[j]) << "\"";
+    }
+    out << "]}";
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace yardstick::ys

@@ -1,0 +1,20 @@
+// JSON export of coverage reports and test results — the integration
+// surface for dashboards and CI pipelines (the role Codecov-style services
+// play for software coverage, §1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nettest/test.hpp"
+#include "yardstick/report.hpp"
+
+namespace yardstick::ys {
+
+/// Serialize a coverage report as a JSON object (stable key order).
+[[nodiscard]] std::string report_to_json(const CoverageReport& report);
+
+/// Serialize a suite's results as a JSON array.
+[[nodiscard]] std::string results_to_json(const std::vector<nettest::TestResult>& results);
+
+}  // namespace yardstick::ys

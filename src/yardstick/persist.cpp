@@ -1,0 +1,148 @@
+#include "yardstick/persist.hpp"
+
+#include <array>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace yardstick::ys {
+
+namespace {
+
+using bdd::Bdd;
+using bdd::BddManager;
+using bdd::kFalse;
+using bdd::kTrue;
+using bdd::NodeIndex;
+
+/// Assigns file-local references: 0/1 for terminals, >=2 for emitted nodes
+/// (reference n maps to the (n-2)-th emitted node line).
+class NodeEmitter {
+ public:
+  explicit NodeEmitter(BddManager& mgr) : mgr_(mgr) {}
+
+  uint32_t emit(NodeIndex root, std::vector<std::array<uint32_t, 3>>& out) {
+    if (root == kFalse) return 0;
+    if (root == kTrue) return 1;
+    const auto it = refs_.find(root);
+    if (it != refs_.end()) return it->second;
+    // Iterative post-order so children are always emitted first.
+    std::vector<std::pair<NodeIndex, bool>> stack{{root, false}};
+    while (!stack.empty()) {
+      auto [n, expanded] = stack.back();
+      stack.pop_back();
+      if (n <= kTrue || refs_.contains(n)) continue;
+      const bdd::BddNode& node = mgr_.node(n);
+      if (!expanded) {
+        stack.push_back({n, true});
+        stack.push_back({node.low, false});
+        stack.push_back({node.high, false});
+        continue;
+      }
+      out.push_back({node.var, ref(node.low), ref(node.high)});
+      refs_.emplace(n, static_cast<uint32_t>(out.size() - 1) + 2);
+    }
+    return refs_.at(root);
+  }
+
+ private:
+  [[nodiscard]] uint32_t ref(NodeIndex n) const {
+    if (n == kFalse) return 0;
+    if (n == kTrue) return 1;
+    return refs_.at(n);
+  }
+
+  BddManager& mgr_;
+  std::unordered_map<NodeIndex, uint32_t> refs_;
+};
+
+[[noreturn]] void malformed(const std::string& why) {
+  throw std::runtime_error("malformed yardstick trace: " + why);
+}
+
+}  // namespace
+
+std::string serialize_trace(const coverage::CoverageTrace& trace, BddManager& mgr) {
+  NodeEmitter emitter(mgr);
+  std::vector<std::array<uint32_t, 3>> nodes;
+  std::vector<std::pair<packet::LocationId, uint32_t>> roots;
+  for (const auto& [loc, ps] : trace.marked_packets().entries()) {
+    roots.emplace_back(loc, emitter.emit(ps.raw().index(), nodes));
+  }
+
+  std::ostringstream out;
+  out << "yardstick-trace v1\n";
+  out << "nodes " << nodes.size() << "\n";
+  for (const auto& [var, low, high] : nodes) {
+    out << var << " " << low << " " << high << "\n";
+  }
+  out << "rules " << trace.marked_rules().size() << "\n";
+  for (const net::RuleId rid : trace.marked_rules()) out << rid.value << "\n";
+  out << "locations " << roots.size() << "\n";
+  for (const auto& [loc, root] : roots) out << loc << " " << root << "\n";
+  return out.str();
+}
+
+coverage::CoverageTrace deserialize_trace(const std::string& text, BddManager& mgr) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "yardstick-trace v1") {
+    malformed("bad header");
+  }
+  std::string keyword;
+  size_t count = 0;
+
+  if (!(in >> keyword >> count) || keyword != "nodes") malformed("missing nodes section");
+  std::vector<NodeIndex> by_ref;  // file ref -> manager node index
+  by_ref.reserve(count + 2);
+  by_ref.push_back(kFalse);
+  by_ref.push_back(kTrue);
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t var = 0, low = 0, high = 0;
+    if (!(in >> var >> low >> high)) malformed("truncated node list");
+    if (var >= mgr.num_vars()) malformed("variable out of range");
+    if (low >= by_ref.size() || high >= by_ref.size()) {
+      malformed("forward node reference");
+    }
+    by_ref.push_back(mgr.make(var, by_ref[low], by_ref[high]));
+  }
+
+  coverage::CoverageTrace trace;
+  if (!(in >> keyword >> count) || keyword != "rules") malformed("missing rules section");
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t rid = 0;
+    if (!(in >> rid)) malformed("truncated rule list");
+    trace.mark_rule(net::RuleId{rid});
+  }
+
+  if (!(in >> keyword >> count) || keyword != "locations") {
+    malformed("missing locations section");
+  }
+  for (size_t i = 0; i < count; ++i) {
+    packet::LocationId loc = 0;
+    uint32_t root = 0;
+    if (!(in >> loc >> root)) malformed("truncated location list");
+    if (root >= by_ref.size()) malformed("bad root reference");
+    trace.mark_packet(loc, packet::PacketSet(Bdd(&mgr, by_ref[root])));
+  }
+  return trace;
+}
+
+void save_trace(const std::string& path, const coverage::CoverageTrace& trace,
+                BddManager& mgr) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << serialize_trace(trace, mgr);
+}
+
+coverage::CoverageTrace load_trace(const std::string& path, BddManager& mgr) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return deserialize_trace(buffer.str(), mgr);
+}
+
+}  // namespace yardstick::ys

@@ -1,0 +1,42 @@
+// Coverage-trace persistence.
+//
+// Yardstick's two-phase split (§5) means the trace outlives the test run:
+// "the network engineer can at any time ask the system to compute new
+// metrics" against it. This module serializes the compact trace
+// (P_T, R_T) — including the BDDs behind every located packet set — to a
+// portable text format so phase 2 can run in a different process, later,
+// or on archived snapshots.
+//
+// Format (line-oriented, self-describing):
+//   yardstick-trace v1
+//   nodes <k>            # shared BDD node list, children before parents
+//   <var> <low> <high>   # refs: 0/1 = terminals, n>=2 = line (n-2)
+//   rules <n>
+//   <rule-id> ...
+//   locations <m>
+//   <location-id> <root-ref> ...
+#pragma once
+
+#include <string>
+
+#include "coverage/trace.hpp"
+
+namespace yardstick::ys {
+
+/// Serialize a trace. `mgr` must be the manager that owns the trace's
+/// packet sets.
+[[nodiscard]] std::string serialize_trace(const coverage::CoverageTrace& trace,
+                                          bdd::BddManager& mgr);
+
+/// Rebuild a trace inside `mgr` (any manager with the same variable
+/// count). Throws std::runtime_error on malformed input.
+[[nodiscard]] coverage::CoverageTrace deserialize_trace(const std::string& text,
+                                                        bdd::BddManager& mgr);
+
+/// Convenience file wrappers.
+void save_trace(const std::string& path, const coverage::CoverageTrace& trace,
+                bdd::BddManager& mgr);
+[[nodiscard]] coverage::CoverageTrace load_trace(const std::string& path,
+                                                 bdd::BddManager& mgr);
+
+}  // namespace yardstick::ys

@@ -1,0 +1,45 @@
+#include "yardstick/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace yardstick::ys {
+
+namespace {
+void print_row(std::ostringstream& out, const std::string& label, size_t devices,
+               const MetricRow& m) {
+  out << "  " << std::left << std::setw(14) << label << std::right << std::setw(8)
+      << devices << std::fixed << std::setprecision(1) << std::setw(10)
+      << m.device_fractional * 100.0 << "%" << std::setw(10)
+      << m.interface_fractional * 100.0 << "%" << std::setw(10)
+      << m.rule_fractional * 100.0 << "%" << std::setw(10) << m.rule_weighted * 100.0
+      << "%\n";
+}
+}  // namespace
+
+std::string CoverageReport::to_text() const {
+  std::ostringstream out;
+  out << "coverage report\n";
+  out << "  " << std::left << std::setw(14) << "role" << std::right << std::setw(8)
+      << "devices" << std::setw(11) << "device(f)" << std::setw(11) << "iface(f)"
+      << std::setw(11) << "rule(f)" << std::setw(11) << "rule(w)" << "\n";
+  for (const RoleBreakdown& row : by_role) {
+    print_row(out, to_string(row.role), row.device_count, row.metrics);
+  }
+  size_t total_devices = 0;
+  for (const RoleBreakdown& row : by_role) total_devices += row.device_count;
+  print_row(out, "ALL", total_devices, overall);
+
+  if (!gaps.empty()) {
+    out << "  untested rules by category:\n";
+    for (const RuleGap& gap : gaps) {
+      out << "    " << std::left << std::setw(12) << to_string(gap.kind) << std::right
+          << gap.untested << " / " << gap.total << " untested\n";
+    }
+  }
+  out << "  completely untested devices: " << untested_device_count << "\n";
+  out << "  completely untested interfaces: " << untested_interface_count << "\n";
+  return out.str();
+}
+
+}  // namespace yardstick::ys

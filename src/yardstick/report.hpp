@@ -1,0 +1,49 @@
+// Coverage report model: the numbers Yardstick surfaces to engineers —
+// per-role breakdowns (the Figure 6 view), overall aggregates (the
+// Figure 7 view), and the untested-rule gap analysis of §7.2.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netmodel/network.hpp"
+
+namespace yardstick::ys {
+
+/// The four headline metrics the case study plots per router role.
+struct MetricRow {
+  double device_fractional = 0.0;
+  double interface_fractional = 0.0;
+  double rule_fractional = 0.0;
+  double rule_weighted = 0.0;
+};
+
+struct RoleBreakdown {
+  net::Role role = net::Role::Other;
+  size_t device_count = 0;
+  size_t interface_count = 0;
+  size_t rule_count = 0;
+  MetricRow metrics;
+};
+
+/// Untested rules grouped by provenance (§7.2's gap categories).
+struct RuleGap {
+  net::RouteKind kind = net::RouteKind::Other;
+  size_t untested = 0;
+  size_t total = 0;
+};
+
+struct CoverageReport {
+  MetricRow overall;
+  std::vector<RoleBreakdown> by_role;
+  std::vector<RuleGap> gaps;
+  size_t untested_device_count = 0;
+  size_t untested_interface_count = 0;
+
+  /// Render the report as a fixed-width text table (the CLI view).
+  [[nodiscard]] std::string to_text() const;
+};
+
+}  // namespace yardstick::ys

@@ -1,0 +1,123 @@
+// End-to-end tests of the yardstick CLI binary (spawned as a subprocess).
+// Skipped gracefully when the binary is not where the build puts it.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace {
+
+const char* cli_path() {
+  // ctest runs test binaries from build/tests; the CLI lives next door.
+  static const std::array<const char*, 3> candidates{
+      "../tools/yardstick", "build/tools/yardstick", "./tools/yardstick"};
+  for (const char* path : candidates) {
+    if (std::ifstream(path).good()) return path;
+  }
+  return nullptr;
+}
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult run_cli(const std::string& args) {
+  CommandResult result;
+  const std::string command = std::string(cli_path()) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer{};
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+#define REQUIRE_CLI()                                             \
+  if (cli_path() == nullptr) {                                    \
+    GTEST_SKIP() << "yardstick CLI binary not found; run from the \
+build tree";                                                      \
+  }
+
+TEST(CliTest, UsageOnBadArguments) {
+  REQUIRE_CLI();
+  EXPECT_EQ(run_cli("bogus").exit_code, 2);
+  EXPECT_EQ(run_cli("").exit_code, 2);
+  EXPECT_NE(run_cli("fattree --k").exit_code, 0);
+  EXPECT_NE(run_cli("regional --suite").exit_code, 0);
+}
+
+TEST(CliTest, FatTreeSuitePasses) {
+  REQUIRE_CLI();
+  const CommandResult r = run_cli("fattree --k 4 --suite fattree");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("ToRReachability"), std::string::npos);
+  EXPECT_NE(r.output.find("coverage report"), std::string::npos);
+  EXPECT_EQ(r.output.find("FAIL"), std::string::npos);
+}
+
+TEST(CliTest, JsonOutputIsWellFormedish) {
+  REQUIRE_CLI();
+  const CommandResult r = run_cli("fattree --k 4 --suite original --json");
+  EXPECT_EQ(r.exit_code, 0);
+  const size_t json_start = r.output.find('{');
+  ASSERT_NE(json_start, std::string::npos);
+  const std::string json = r.output.substr(json_start);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_NE(json.find("\"coverage\""), std::string::npos);
+  EXPECT_NE(json.find("\"tests\""), std::string::npos);
+}
+
+TEST(CliTest, TraceSaveAndLoadRoundTrip) {
+  REQUIRE_CLI();
+  const std::string trace = ::testing::TempDir() + "/cli_trace.txt";
+  const CommandResult save =
+      run_cli("fattree --k 4 --suite original --save-trace " + trace);
+  EXPECT_EQ(save.exit_code, 0) << save.output;
+  const CommandResult load = run_cli("fattree --k 4 --load-trace " + trace);
+  EXPECT_EQ(load.exit_code, 0) << load.output;
+  EXPECT_NE(load.output.find("coverage report"), std::string::npos);
+  std::remove(trace.c_str());
+}
+
+TEST(CliTest, NetworkFileMode) {
+  REQUIRE_CLI();
+  const std::string net_file = ::testing::TempDir() + "/cli_net.txt";
+  {
+    std::ofstream out(net_file);
+    out << "network v1\n"
+        << "device wan role wan\n"
+        << "device tor role tor\n"
+        << "interface wan internet0 kind external\n"
+        << "interface wan eth0\n"
+        << "interface tor host0 kind host\n"
+        << "interface tor eth0\n"
+        << "link tor:eth0 wan:eth0 subnet 172.16.0.0/31\n"
+        << "host-prefix tor 10.0.1.0/24\n";
+  }
+  const CommandResult r = run_cli("file " + net_file + " --suite original");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("devices=2"), std::string::npos);
+  std::remove(net_file.c_str());
+  // Missing file is a clean usage-style error, not a crash.
+  const CommandResult missing = run_cli("file /nonexistent.net");
+  EXPECT_EQ(missing.exit_code, 2);
+  EXPECT_NE(missing.output.find("error"), std::string::npos);
+}
+
+TEST(CliTest, AnalyzeAndSuggestFlags) {
+  REQUIRE_CLI();
+  const CommandResult r =
+      run_cli("fattree --k 4 --suite original --analyze --suggest 2");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("suite analysis"), std::string::npos);
+  EXPECT_NE(r.output.find("suggested probes"), std::string::npos);
+}
+
+}  // namespace

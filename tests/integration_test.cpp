@@ -1,0 +1,192 @@
+// Whole-system integration: the complete Figure 2 taxonomy (all five test
+// categories) running against one ACL-equipped regional network, with
+// coverage accumulated in a single trace — then reports, JSON export,
+// persistence, and incoming-direction interface metrics over the result.
+#include <gtest/gtest.h>
+
+#include "nettest/acl_checks.hpp"
+#include "nettest/contract_checks.hpp"
+#include "nettest/local_forward.hpp"
+#include "nettest/reachability.hpp"
+#include "nettest/state_checks.hpp"
+#include "nettest/waypoint.hpp"
+#include "routing/fib_builder.hpp"
+#include "topo/acl.hpp"
+#include "topo/regional.hpp"
+#include "yardstick/engine.hpp"
+#include "yardstick/json.hpp"
+#include "yardstick/persist.hpp"
+#include "yardstick/snapshot.hpp"
+
+namespace yardstick {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest() {
+    topo::RegionalParams params;
+    params.datacenters = 1;
+    params.pods_per_dc = 2;
+    params.tors_per_pod = 2;
+    params.aggs_per_pod = 2;
+    params.spines_per_dc = 2;
+    params.hubs = 2;
+    params.wans = 1;
+    params.host_ports_per_tor = 2;
+    params.hubs_without_default = 0;
+    region_ = topo::make_regional(params);
+    routing::FibBuilder::compute_and_build(region_.network, region_.routing);
+    topo::install_ingress_acls(region_.network, region_.tors);
+    index_.emplace(mgr_, region_.network);
+    transfer_.emplace(*index_);
+  }
+
+  [[nodiscard]] nettest::TestSuite full_suite() {
+    nettest::TestSuite suite("everything");
+    // state inspection
+    suite.add(std::make_unique<nettest::DefaultRouteCheck>());
+    suite.add(std::make_unique<nettest::ConnectedRouteCheck>());
+    suite.add(std::make_unique<nettest::AclBlockCheck>());
+    // local symbolic
+    suite.add(std::make_unique<nettest::InternalRouteCheck>());
+    suite.add(std::make_unique<nettest::BlockedPortCheck>());
+    // local concrete
+    suite.add(std::make_unique<nettest::LocalForwardCheck>());
+    // end-to-end symbolic + concrete. The reachability invariant exempts
+    // headers the ToR ingress ACLs deny (blocked TCP ports).
+    packet::PacketSet blocked = packet::PacketSet::none(mgr_);
+    for (const uint16_t port : topo::SecurityPolicy{}.blocked_tcp_ports) {
+      blocked = blocked.union_with(
+          packet::PacketSet::field_equals(mgr_, packet::Field::DstPort, port));
+    }
+    blocked = blocked.intersect(
+        packet::PacketSet::field_equals(mgr_, packet::Field::Proto, topo::kTcp));
+    suite.add(std::make_unique<nettest::ToRReachability>(blocked));
+    suite.add(std::make_unique<nettest::ToRPingmesh>());
+    return suite;
+  }
+
+  bdd::BddManager mgr_{packet::kNumHeaderBits};
+  topo::RegionalNetwork region_;
+  std::optional<dataplane::MatchSetIndex> index_;
+  std::optional<dataplane::Transfer> transfer_;
+};
+
+TEST_F(IntegrationTest, AllFiveCategoriesPassTogether) {
+  ys::CoverageTracker tracker;
+  const auto results = full_suite().run_all(*transfer_, tracker);
+  ASSERT_EQ(results.size(), 8u);
+
+  std::set<nettest::TestCategory> seen;
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.passed()) << r.name << ": "
+                            << (r.failure_messages.empty() ? ""
+                                                           : r.failure_messages.front());
+    seen.insert(r.category);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // every Figure 2 cell exercised
+
+  // The combined trace mixes rule marks and packet marks.
+  EXPECT_GT(tracker.rule_calls(), 0u);
+  EXPECT_GT(tracker.packet_calls(), 0u);
+}
+
+TEST_F(IntegrationTest, CombinedCoverageIsHighButHonest) {
+  ys::CoverageTracker tracker;
+  (void)full_suite().run_all(*transfer_, tracker);
+  const ys::CoverageEngine engine(mgr_, region_.network, tracker.trace());
+  const ys::CoverageReport report = engine.report();
+
+  EXPECT_GT(report.overall.rule_fractional, 0.6);
+  EXPECT_LT(report.overall.rule_fractional, 1.0);  // wide-area still untested
+  EXPECT_DOUBLE_EQ(report.overall.device_fractional, 1.0);
+
+  bool wide_area_untested = false;
+  for (const auto& gap : report.gaps) {
+    if (gap.kind == net::RouteKind::WideArea && gap.untested == gap.total) {
+      wide_area_untested = true;
+    }
+    if (gap.kind == net::RouteKind::Security) {
+      // Every ACL entry is exercised by AclBlockCheck + BlockedPortCheck.
+      EXPECT_LT(gap.untested, gap.total);
+    }
+  }
+  EXPECT_TRUE(wide_area_untested);
+}
+
+TEST_F(IntegrationTest, IncomingInterfaceDirectionDiffersFromOutgoing) {
+  ys::CoverageTracker tracker;
+  (void)nettest::ToRPingmesh().run(*transfer_, tracker);
+  const ys::CoverageEngine engine(mgr_, region_.network, tracker.trace());
+  const double outgoing = engine.interfaces_coverage(
+      coverage::fractional_aggregator(), nullptr, coverage::InterfaceDirection::Outgoing);
+  const double incoming = engine.interfaces_coverage(
+      coverage::fractional_aggregator(), nullptr, coverage::InterfaceDirection::Incoming);
+  EXPECT_GT(outgoing, 0.0);
+  EXPECT_GT(incoming, 0.0);
+  // Pingmesh enters fabric links but exits host ports; the two directions
+  // measure genuinely different state.
+  EXPECT_NE(outgoing, incoming);
+}
+
+TEST_F(IntegrationTest, JsonRoundTripsThroughRealReport) {
+  ys::CoverageTracker tracker;
+  const auto results = full_suite().run_all(*transfer_, tracker);
+  const ys::CoverageEngine engine(mgr_, region_.network, tracker.trace());
+  const std::string report_json = ys::report_to_json(engine.report());
+  const std::string results_json = ys::results_to_json(results);
+
+  // Structural sanity: balanced braces/brackets, expected keys present.
+  EXPECT_EQ(std::count(report_json.begin(), report_json.end(), '{'),
+            std::count(report_json.begin(), report_json.end(), '}'));
+  EXPECT_EQ(std::count(results_json.begin(), results_json.end(), '['),
+            std::count(results_json.begin(), results_json.end(), ']'));
+  for (const char* key : {"\"overall\"", "\"by_role\"", "\"gaps\"", "\"security\""}) {
+    EXPECT_NE(report_json.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(results_json.find("ToRPingmesh"), std::string::npos);
+}
+
+TEST_F(IntegrationTest, PersistedTraceReproducesTheFullReport) {
+  ys::CoverageTracker tracker;
+  (void)full_suite().run_all(*transfer_, tracker);
+  const std::string blob = ys::serialize_trace(tracker.trace(), mgr_);
+
+  bdd::BddManager mgr2(packet::kNumHeaderBits);
+  const coverage::CoverageTrace loaded = ys::deserialize_trace(blob, mgr2);
+
+  const ys::CoverageEngine original(mgr_, region_.network, tracker.trace());
+  const ys::CoverageEngine restored(mgr2, region_.network, loaded);
+  const ys::CoverageReport a = original.report();
+  const ys::CoverageReport b = restored.report();
+  EXPECT_DOUBLE_EQ(a.overall.rule_fractional, b.overall.rule_fractional);
+  EXPECT_DOUBLE_EQ(a.overall.rule_weighted, b.overall.rule_weighted);
+  EXPECT_DOUBLE_EQ(a.overall.interface_fractional, b.overall.interface_fractional);
+  EXPECT_EQ(a.untested_interface_count, b.untested_interface_count);
+}
+
+TEST_F(IntegrationTest, SnapshotMonitorSeesStableNetworkAsQuiet) {
+  ys::CoverageTracker tracker;
+  (void)full_suite().run_all(*transfer_, tracker);
+  const ys::CoverageEngine engine(mgr_, region_.network, tracker.trace());
+  const ys::PathCoverageResult paths = engine.path_coverage();
+
+  ys::SnapshotMonitor monitor;
+  ys::SnapshotStats day;
+  day.label = "day0";
+  day.path_universe_size = paths.total_paths;
+  day.rule_count = region_.network.rule_count();
+  day.coverage = engine.report().overall;
+  EXPECT_TRUE(monitor.record(day).empty());
+  day.label = "day1";  // identical snapshot: quiet
+  EXPECT_TRUE(monitor.record(day).empty());
+  // A failed hub shrinks the universe: the §5.2 guard fires.
+  day.label = "day2";
+  day.path_universe_size = paths.total_paths / 3;
+  const auto alerts = monitor.record(day);
+  ASSERT_FALSE(alerts.empty());
+  EXPECT_EQ(alerts[0].kind, ys::SnapshotAlert::Kind::PathUniverseShift);
+}
+
+}  // namespace
+}  // namespace yardstick

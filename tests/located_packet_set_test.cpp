@@ -1,0 +1,94 @@
+// Tests for LocatedPacketSet — the located-packet algebra of §4.1.
+#include <gtest/gtest.h>
+
+#include "packet/located_packet_set.hpp"
+
+namespace yardstick::packet {
+namespace {
+
+using bdd::pow2;
+using bdd::Uint128;
+
+class LocatedTest : public ::testing::Test {
+ protected:
+  [[nodiscard]] PacketSet prefix(const char* cidr) {
+    return PacketSet::dst_prefix(mgr_, Ipv4Prefix::parse(cidr));
+  }
+
+  bdd::BddManager mgr_{kNumHeaderBits};
+};
+
+TEST_F(LocatedTest, EmptyByDefault) {
+  const LocatedPacketSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), Uint128{0});
+  EXPECT_EQ(s.location_count(), 0u);
+  EXPECT_FALSE(s.at(3).valid());
+  EXPECT_FALSE(s.has(3));
+}
+
+TEST_F(LocatedTest, InsertUnionsPerLocation) {
+  LocatedPacketSet s;
+  s.insert(1, prefix("10.0.0.0/8"));
+  s.insert(1, prefix("11.0.0.0/8"));
+  s.insert(2, prefix("10.0.0.0/8"));
+  EXPECT_EQ(s.location_count(), 2u);
+  EXPECT_EQ(s.at(1), prefix("10.0.0.0/8").union_with(prefix("11.0.0.0/8")));
+  EXPECT_EQ(s.count(), 3 * pow2(96));
+}
+
+TEST_F(LocatedTest, InsertIgnoresEmptySets) {
+  LocatedPacketSet s;
+  s.insert(7, PacketSet::none(mgr_));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST_F(LocatedTest, UnionIsPointwise) {
+  LocatedPacketSet a(1, prefix("10.0.0.0/8"));
+  LocatedPacketSet b;
+  b.insert(1, prefix("11.0.0.0/8"));
+  b.insert(2, prefix("12.0.0.0/8"));
+  const LocatedPacketSet u = a.union_with(b);
+  EXPECT_EQ(u.at(1), prefix("10.0.0.0/7"));  // 10/8 union 11/8
+  EXPECT_EQ(u.at(2), prefix("12.0.0.0/8"));
+  EXPECT_EQ(u.count(), a.count() + b.count());
+}
+
+TEST_F(LocatedTest, IntersectKeepsCommonLocations) {
+  LocatedPacketSet a;
+  a.insert(1, prefix("10.0.0.0/7"));  // covers 10/8 and 11/8
+  a.insert(2, prefix("12.0.0.0/8"));
+  LocatedPacketSet b(1, prefix("10.0.0.0/8"));
+  const LocatedPacketSet i = a.intersect(b);
+  EXPECT_EQ(i.location_count(), 1u);
+  EXPECT_EQ(i.at(1), prefix("10.0.0.0/8"));
+}
+
+TEST_F(LocatedTest, MinusSubtractsPointwise) {
+  LocatedPacketSet a;
+  a.insert(1, prefix("10.0.0.0/7"));
+  a.insert(2, prefix("12.0.0.0/8"));
+  LocatedPacketSet b(1, prefix("10.0.0.0/8"));
+  const LocatedPacketSet d = a.minus(b);
+  EXPECT_EQ(d.at(1), prefix("11.0.0.0/8"));
+  EXPECT_EQ(d.at(2), prefix("12.0.0.0/8"));
+  // Subtracting everything drops the location entirely.
+  const LocatedPacketSet gone = a.minus(a);
+  EXPECT_TRUE(gone.empty());
+}
+
+TEST_F(LocatedTest, EqualityIsStructural) {
+  LocatedPacketSet a(1, prefix("10.0.0.0/8"));
+  LocatedPacketSet b(1, prefix("10.0.0.0/8"));
+  EXPECT_EQ(a, b);
+  b.insert(2, prefix("11.0.0.0/8"));
+  EXPECT_NE(a, b);
+}
+
+TEST_F(LocatedTest, ToStringListsLocations) {
+  LocatedPacketSet s(5, prefix("10.0.0.0/8"));
+  EXPECT_NE(s.to_string().find("@5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace yardstick::packet

@@ -1,0 +1,94 @@
+// Tests for IPv4 prefix parsing and arithmetic.
+#include <gtest/gtest.h>
+
+#include "packet/prefix.hpp"
+
+namespace yardstick::packet {
+namespace {
+
+TEST(Ipv4Test, ParseAndFormatRoundTrip) {
+  EXPECT_EQ(parse_ipv4("10.1.2.3"), 0x0a010203u);
+  EXPECT_EQ(parse_ipv4("0.0.0.0"), 0u);
+  EXPECT_EQ(parse_ipv4("255.255.255.255"), 0xffffffffu);
+  EXPECT_EQ(ipv4_to_string(0x0a010203u), "10.1.2.3");
+  EXPECT_EQ(ipv4_to_string(0xffffffffu), "255.255.255.255");
+}
+
+TEST(Ipv4Test, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_ipv4("10.1.2").has_value());
+  EXPECT_FALSE(parse_ipv4("10.1.2.3.4").has_value());
+  EXPECT_FALSE(parse_ipv4("10.1.2.256").has_value());
+  EXPECT_FALSE(parse_ipv4("10..2.3").has_value());
+  EXPECT_FALSE(parse_ipv4("a.b.c.d").has_value());
+  EXPECT_FALSE(parse_ipv4("").has_value());
+}
+
+TEST(PrefixTest, ParseCidr) {
+  const Ipv4Prefix p = Ipv4Prefix::parse("10.0.0.0/8");
+  EXPECT_EQ(p.address(), 0x0a000000u);
+  EXPECT_EQ(p.length(), 8);
+  EXPECT_EQ(p.to_string(), "10.0.0.0/8");
+  EXPECT_EQ(Ipv4Prefix::parse("1.2.3.4").length(), 32);
+}
+
+TEST(PrefixTest, ParseRejectsBadLength) {
+  EXPECT_THROW(Ipv4Prefix::parse("10.0.0.0/33"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Prefix::parse("10.0.0.0/x"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Prefix::parse("10.0.0/8"), std::invalid_argument);
+}
+
+TEST(PrefixTest, AddressMaskedToLength) {
+  const Ipv4Prefix p(0x0a0102ffu, 24);
+  EXPECT_EQ(p.address(), 0x0a010200u);
+}
+
+TEST(PrefixTest, Contains) {
+  const Ipv4Prefix p = Ipv4Prefix::parse("192.168.0.0/16");
+  EXPECT_TRUE(p.contains(0xc0a80101u));
+  EXPECT_FALSE(p.contains(0xc0a90101u));
+  EXPECT_TRUE(p.contains(Ipv4Prefix::parse("192.168.5.0/24")));
+  EXPECT_FALSE(p.contains(Ipv4Prefix::parse("192.0.0.0/8")));
+  EXPECT_TRUE(p.overlaps(Ipv4Prefix::parse("192.0.0.0/8")));
+  EXPECT_FALSE(p.overlaps(Ipv4Prefix::parse("10.0.0.0/8")));
+}
+
+TEST(PrefixTest, DefaultRouteContainsEverything) {
+  const Ipv4Prefix d = default_route_prefix();
+  EXPECT_EQ(d.length(), 0);
+  EXPECT_EQ(d.mask(), 0u);
+  EXPECT_TRUE(d.contains(0u));
+  EXPECT_TRUE(d.contains(0xffffffffu));
+  EXPECT_EQ(d.size(), uint64_t{1} << 32);
+}
+
+TEST(PrefixTest, FirstLastSize) {
+  const Ipv4Prefix p = Ipv4Prefix::parse("10.1.0.0/16");
+  EXPECT_EQ(p.first(), 0x0a010000u);
+  EXPECT_EQ(p.last(), 0x0a01ffffu);
+  EXPECT_EQ(p.size(), 65536u);
+  const Ipv4Prefix host = Ipv4Prefix::parse("10.1.2.3/32");
+  EXPECT_EQ(host.first(), host.last());
+  EXPECT_EQ(host.size(), 1u);
+}
+
+TEST(PrefixTest, SubnetCarving) {
+  const Ipv4Prefix base = Ipv4Prefix::parse("10.0.0.0/8");
+  EXPECT_EQ(base.subnet(24, 0).to_string(), "10.0.0.0/24");
+  EXPECT_EQ(base.subnet(24, 256).to_string(), "10.1.0.0/24");
+  EXPECT_EQ(base.subnet(31, 1).to_string(), "10.0.0.2/31");
+  EXPECT_THROW(base.subnet(4, 0), std::invalid_argument);
+}
+
+TEST(PrefixTest, SlashThirtyOneSides) {
+  const Ipv4Prefix link = Ipv4Prefix::parse("172.16.0.4/31");
+  EXPECT_EQ(link.first(), 0xac100004u);
+  EXPECT_EQ(link.last(), 0xac100005u);
+}
+
+TEST(PrefixTest, Ordering) {
+  EXPECT_LT(Ipv4Prefix::parse("10.0.0.0/8"), Ipv4Prefix::parse("10.0.0.0/16"));
+  EXPECT_EQ(Ipv4Prefix::parse("10.0.0.0/8"), Ipv4Prefix(0x0a000000u, 8));
+}
+
+}  // namespace
+}  // namespace yardstick::packet

@@ -1,0 +1,298 @@
+// Tests for the BGP path-vector simulator and FIB builder on small
+// hand-built Clos topologies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "routing/fib_builder.hpp"
+#include "topo/subnets.hpp"
+
+namespace yardstick::routing {
+namespace {
+
+using net::DeviceId;
+using net::InterfaceId;
+using net::PortKind;
+using net::Role;
+using net::RouteKind;
+using packet::Ipv4Prefix;
+
+/// Two-tier Clos: two ToRs under two aggs (full mesh), plus one WAN router
+/// above both aggs.
+struct SmallClos {
+  net::Network net;
+  RoutingConfig config;
+  DeviceId tor1, tor2, agg1, agg2, wan;
+};
+
+SmallClos make_small_clos() {
+  SmallClos s;
+  net::Network& n = s.net;
+  topo::SubnetAllocator subnets;
+
+  s.tor1 = n.add_device("tor1", Role::ToR, role_asn(Role::ToR));
+  s.tor2 = n.add_device("tor2", Role::ToR, role_asn(Role::ToR));
+  s.agg1 = n.add_device("agg1", Role::Aggregation, role_asn(Role::Aggregation));
+  s.agg2 = n.add_device("agg2", Role::Aggregation, role_asn(Role::Aggregation));
+  s.wan = n.add_device("wan", Role::Wan, role_asn(Role::Wan));
+
+  const auto connect = [&](DeviceId a, DeviceId b) {
+    const InterfaceId ia =
+        n.add_interface(a, "eth" + std::to_string(n.device(a).interfaces.size()));
+    const InterfaceId ib =
+        n.add_interface(b, "eth" + std::to_string(n.device(b).interfaces.size()));
+    n.add_link(ia, ib, subnets.next_link_subnet());
+  };
+  for (const DeviceId tor : {s.tor1, s.tor2}) {
+    for (const DeviceId agg : {s.agg1, s.agg2}) connect(tor, agg);
+  }
+  for (const DeviceId agg : {s.agg1, s.agg2}) connect(agg, s.wan);
+
+  for (const DeviceId tor : {s.tor1, s.tor2}) {
+    n.device(tor).host_prefixes.push_back(subnets.next_host_prefix());
+    n.add_interface(tor, "host0", PortKind::HostPort);
+    n.device(tor).loopbacks.push_back(subnets.next_loopback());
+    n.add_interface(tor, "local0", PortKind::LocalPort);
+  }
+  for (const DeviceId agg : {s.agg1, s.agg2}) {
+    n.device(agg).loopbacks.push_back(subnets.next_loopback());
+    n.add_interface(agg, "local0", PortKind::LocalPort);
+  }
+  n.add_interface(s.wan, "internet0", PortKind::ExternalPort);
+  s.config.wide_area_prefixes[s.wan] = {Ipv4Prefix::parse("100.64.0.0/16")};
+  return s;
+}
+
+const SimRibEntry* find_entry(const SimRib& rib, const Ipv4Prefix& p) {
+  const uint64_t key = prefix_key(p);
+  const auto it = std::find_if(rib.begin(), rib.end(),
+                               [&](const SimRibEntry& e) { return e.prefix_key == key; });
+  return it == rib.end() ? nullptr : &*it;
+}
+
+const net::Rule* find_fib_rule(const net::Network& n, DeviceId dev, const Ipv4Prefix& p) {
+  for (const net::RuleId rid : n.table(dev)) {
+    const net::Rule& r = n.rule(rid);
+    if (r.match.dst_prefix && *r.match.dst_prefix == p) return &r;
+  }
+  return nullptr;
+}
+
+class BgpSimTest : public ::testing::Test {
+ protected:
+  BgpSimTest() : clos_(make_small_clos()) {}
+  SmallClos clos_;
+};
+
+TEST_F(BgpSimTest, ConvergesToFixpoint) {
+  BgpSimulator sim(clos_.net, clos_.config);
+  const auto ribs = sim.run();
+  EXPECT_LT(sim.rounds_used(), clos_.config.max_rounds);
+  EXPECT_EQ(ribs.size(), clos_.net.device_count());
+}
+
+TEST_F(BgpSimTest, HostPrefixPropagatesWithShortestPathsAndEcmp) {
+  BgpSimulator sim(clos_.net, clos_.config);
+  const auto ribs = sim.run();
+  const Ipv4Prefix p2 = clos_.net.device(clos_.tor2).host_prefixes.front();
+
+  // tor1 reaches tor2's prefix via both aggs (ECMP, path length 2).
+  const SimRibEntry* at_tor1 = find_entry(ribs[clos_.tor1.value], p2);
+  ASSERT_NE(at_tor1, nullptr);
+  EXPECT_EQ(at_tor1->path_length, 2);
+  EXPECT_EQ(at_tor1->next_hops.size(), 2u);
+
+  // aggs reach it directly (length 1, single next hop).
+  const SimRibEntry* at_agg1 = find_entry(ribs[clos_.agg1.value], p2);
+  ASSERT_NE(at_agg1, nullptr);
+  EXPECT_EQ(at_agg1->path_length, 1);
+  ASSERT_EQ(at_agg1->next_hops.size(), 1u);
+  EXPECT_EQ(clos_.net.neighbor(at_agg1->next_hops[0]), clos_.tor2);
+
+  // WAN learns it two hops away via both aggs.
+  const SimRibEntry* at_wan = find_entry(ribs[clos_.wan.value], p2);
+  ASSERT_NE(at_wan, nullptr);
+  EXPECT_EQ(at_wan->path_length, 2);
+  EXPECT_EQ(at_wan->next_hops.size(), 2u);
+}
+
+TEST_F(BgpSimTest, DefaultRouteOriginatesAtWan) {
+  BgpSimulator sim(clos_.net, clos_.config);
+  const auto ribs = sim.run();
+  const SimRibEntry* at_agg = find_entry(ribs[clos_.agg1.value], Ipv4Prefix(0, 0));
+  ASSERT_NE(at_agg, nullptr);
+  EXPECT_EQ(at_agg->kind, RouteKind::Default);
+  EXPECT_EQ(at_agg->path_length, 1);
+  const SimRibEntry* at_tor = find_entry(ribs[clos_.tor1.value], Ipv4Prefix(0, 0));
+  ASSERT_NE(at_tor, nullptr);
+  EXPECT_EQ(at_tor->path_length, 2);
+  EXPECT_EQ(at_tor->next_hops.size(), 2u);
+}
+
+TEST_F(BgpSimTest, WideAreaRoutesStopAtSpineTier) {
+  // In this small Clos the aggs are below the spine tier, so wide-area
+  // prefixes must not reach them (nor the ToRs).
+  BgpSimulator sim(clos_.net, clos_.config);
+  const auto ribs = sim.run();
+  const Ipv4Prefix wide = Ipv4Prefix::parse("100.64.0.0/16");
+  EXPECT_EQ(find_entry(ribs[clos_.agg1.value], wide), nullptr);
+  EXPECT_EQ(find_entry(ribs[clos_.tor1.value], wide), nullptr);
+  // The WAN itself originates it.
+  const SimRibEntry* at_wan = find_entry(ribs[clos_.wan.value], wide);
+  ASSERT_NE(at_wan, nullptr);
+  EXPECT_TRUE(at_wan->originated);
+}
+
+TEST_F(BgpSimTest, WideAreaRoutesReachSpinesWhenPresent) {
+  // Insert a spine layer between aggs and WAN; spines must carry the
+  // wide-area prefix, aggs must not.
+  SmallClos s;
+  net::Network& n = s.net;
+  topo::SubnetAllocator subnets;
+  const DeviceId agg = n.add_device("agg", Role::Aggregation, role_asn(Role::Aggregation));
+  const DeviceId spine = n.add_device("spine", Role::Spine, role_asn(Role::Spine));
+  const DeviceId wan = n.add_device("wan", Role::Wan, role_asn(Role::Wan));
+  const auto connect = [&](DeviceId a, DeviceId b) {
+    const auto ia = n.add_interface(a, "x" + std::to_string(n.device(a).interfaces.size()));
+    const auto ib = n.add_interface(b, "x" + std::to_string(n.device(b).interfaces.size()));
+    n.add_link(ia, ib, subnets.next_link_subnet());
+  };
+  connect(agg, spine);
+  connect(spine, wan);
+  RoutingConfig config;
+  const Ipv4Prefix wide = Ipv4Prefix::parse("100.64.0.0/16");
+  config.wide_area_prefixes[wan] = {wide};
+
+  BgpSimulator sim(n, config);
+  const auto ribs = sim.run();
+  EXPECT_NE(find_entry(ribs[spine.value], wide), nullptr);
+  EXPECT_EQ(find_entry(ribs[agg.value], wide), nullptr);
+}
+
+TEST_F(BgpSimTest, NullDefaultDeviceSuppressesReadvertisement) {
+  // agg1 null-routes its static default: tor1/tor2 must then learn the
+  // default only via agg2 (single next hop instead of two).
+  clos_.config.null_default_devices.insert(clos_.agg1);
+  BgpSimulator sim(clos_.net, clos_.config);
+  const auto ribs = sim.run();
+  const SimRibEntry* at_tor = find_entry(ribs[clos_.tor1.value], Ipv4Prefix(0, 0));
+  ASSERT_NE(at_tor, nullptr);
+  ASSERT_EQ(at_tor->next_hops.size(), 1u);
+  EXPECT_EQ(clos_.net.neighbor(at_tor->next_hops[0]), clos_.agg2);
+}
+
+TEST_F(BgpSimTest, NoDefaultDeviceRejectsDefault) {
+  clos_.config.no_default_devices.insert(clos_.agg1);
+  BgpSimulator sim(clos_.net, clos_.config);
+  const auto ribs = sim.run();
+  EXPECT_EQ(find_entry(ribs[clos_.agg1.value], Ipv4Prefix(0, 0)), nullptr);
+  // Other prefixes are unaffected.
+  EXPECT_NE(find_entry(ribs[clos_.agg1.value],
+                       clos_.net.device(clos_.tor1).host_prefixes.front()),
+            nullptr);
+}
+
+class FibBuilderTest : public ::testing::Test {
+ protected:
+  FibBuilderTest() : clos_(make_small_clos()) {
+    FibBuilder::compute_and_build(clos_.net, clos_.config);
+  }
+  SmallClos clos_;
+};
+
+TEST_F(FibBuilderTest, EveryDeviceGetsRules) {
+  for (const net::Device& dev : clos_.net.devices()) {
+    EXPECT_FALSE(clos_.net.table(dev.id).empty()) << dev.name;
+  }
+}
+
+TEST_F(FibBuilderTest, TablesAreLongestPrefixFirst) {
+  for (const net::Device& dev : clos_.net.devices()) {
+    uint8_t last_len = 32;
+    for (const net::RuleId rid : clos_.net.table(dev.id)) {
+      const uint8_t len = clos_.net.rule(rid).match.dst_prefix->length();
+      EXPECT_LE(len, last_len);
+      last_len = len;
+    }
+  }
+}
+
+TEST_F(FibBuilderTest, ConnectedRoutesOnBothLinkEnds) {
+  for (const net::Link& link : clos_.net.links()) {
+    ASSERT_TRUE(link.subnet.has_value());
+    for (const InterfaceId side : {link.a, link.b}) {
+      const net::Rule* rule =
+          find_fib_rule(clos_.net, clos_.net.interface(side).device, *link.subnet);
+      ASSERT_NE(rule, nullptr);
+      EXPECT_EQ(rule->kind, RouteKind::Connected);
+      EXPECT_EQ(rule->action.out_interfaces, (std::vector<InterfaceId>{side}));
+    }
+  }
+}
+
+TEST_F(FibBuilderTest, StaticDefaultPointsNorth) {
+  const net::Rule* rule = find_fib_rule(clos_.net, clos_.tor1, Ipv4Prefix(0, 0));
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->kind, RouteKind::Default);
+  ASSERT_EQ(rule->action.out_interfaces.size(), 2u);  // both aggs
+  for (const InterfaceId i : rule->action.out_interfaces) {
+    EXPECT_EQ(clos_.net.device(clos_.net.neighbor(i)).role, Role::Aggregation);
+  }
+}
+
+TEST_F(FibBuilderTest, NullDefaultInstallsDropRule) {
+  SmallClos s = make_small_clos();
+  s.config.null_default_devices.insert(s.agg1);
+  FibBuilder::compute_and_build(s.net, s.config);
+  const net::Rule* rule = find_fib_rule(s.net, s.agg1, Ipv4Prefix(0, 0));
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->action.type, net::ActionType::Drop);
+  EXPECT_EQ(rule->kind, RouteKind::Default);
+}
+
+TEST_F(FibBuilderTest, OwnLoopbackTerminatesOnLocalPort) {
+  const Ipv4Prefix lo = clos_.net.device(clos_.tor1).loopbacks.front();
+  const net::Rule* rule = find_fib_rule(clos_.net, clos_.tor1, lo);
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->kind, RouteKind::Internal);
+  ASSERT_EQ(rule->action.out_interfaces.size(), 1u);
+  EXPECT_EQ(clos_.net.interface(rule->action.out_interfaces[0]).kind,
+            PortKind::LocalPort);
+}
+
+TEST_F(FibBuilderTest, RemoteLoopbackLearnedViaBgp) {
+  const Ipv4Prefix lo = clos_.net.device(clos_.agg2).loopbacks.front();
+  const net::Rule* rule = find_fib_rule(clos_.net, clos_.tor1, lo);
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->kind, RouteKind::Internal);
+  ASSERT_EQ(rule->action.out_interfaces.size(), 1u);
+  EXPECT_EQ(clos_.net.neighbor(rule->action.out_interfaces[0]), clos_.agg2);
+}
+
+TEST_F(FibBuilderTest, HostPrefixTerminatesOnHostPort) {
+  const Ipv4Prefix p = clos_.net.device(clos_.tor1).host_prefixes.front();
+  const net::Rule* rule = find_fib_rule(clos_.net, clos_.tor1, p);
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(clos_.net.interface(rule->action.out_interfaces[0]).kind,
+            PortKind::HostPort);
+}
+
+TEST_F(FibBuilderTest, WanSendsOriginatedTrafficToExternalPort) {
+  const net::Rule* def = find_fib_rule(clos_.net, clos_.wan, Ipv4Prefix(0, 0));
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(clos_.net.interface(def->action.out_interfaces[0]).kind,
+            PortKind::ExternalPort);
+  const net::Rule* wide =
+      find_fib_rule(clos_.net, clos_.wan, Ipv4Prefix::parse("100.64.0.0/16"));
+  ASSERT_NE(wide, nullptr);
+  EXPECT_EQ(wide->kind, RouteKind::WideArea);
+}
+
+TEST_F(FibBuilderTest, RebuildIsIdempotent) {
+  const size_t rules_before = clos_.net.rule_count();
+  FibBuilder::compute_and_build(clos_.net, clos_.config);
+  EXPECT_EQ(clos_.net.rule_count(), rules_before);
+}
+
+}  // namespace
+}  // namespace yardstick::routing

@@ -1,0 +1,90 @@
+// Shared fixtures: small hand-built networks used across test files.
+#pragma once
+
+#include "netmodel/network.hpp"
+#include "packet/packet_set.hpp"
+
+namespace yardstick::testutil {
+
+using net::Action;
+using net::DeviceId;
+using net::InterfaceId;
+using net::MatchSpec;
+using net::PortKind;
+using net::Role;
+using net::RouteKind;
+using net::RuleId;
+using packet::Ipv4Prefix;
+
+/// leaf1 --- spine --- leaf2, each leaf with one host port and one hosted
+/// /24; the spine carries both /24s plus a null-routed default. Rules are
+/// installed by hand (no routing substrate) so tests control every entry.
+struct TinyNetwork {
+  net::Network net;
+  DeviceId leaf1, spine, leaf2;
+  InterfaceId l1_host, l1_up, sp_d1, sp_d2, l2_up, l2_host;
+  Ipv4Prefix p1 = Ipv4Prefix::parse("10.0.1.0/24");
+  Ipv4Prefix p2 = Ipv4Prefix::parse("10.0.2.0/24");
+  // Rule handles (suffix: device _ destination).
+  RuleId l1_to_p1, l1_to_p2, l1_default;
+  RuleId sp_to_p1, sp_to_p2, sp_default_drop;
+  RuleId l2_to_p1, l2_to_p2, l2_default;
+};
+
+inline TinyNetwork make_tiny() {
+  TinyNetwork t;
+  net::Network& n = t.net;
+  t.leaf1 = n.add_device("leaf1", Role::ToR, 65001);
+  t.spine = n.add_device("spine", Role::Spine, 65003);
+  t.leaf2 = n.add_device("leaf2", Role::ToR, 65001);
+
+  t.l1_host = n.add_interface(t.leaf1, "host0", PortKind::HostPort);
+  t.l1_up = n.add_interface(t.leaf1, "eth0");
+  t.sp_d1 = n.add_interface(t.spine, "eth0");
+  t.sp_d2 = n.add_interface(t.spine, "eth1");
+  t.l2_up = n.add_interface(t.leaf2, "eth0");
+  t.l2_host = n.add_interface(t.leaf2, "host0", PortKind::HostPort);
+
+  n.add_link(t.l1_up, t.sp_d1, Ipv4Prefix::parse("172.16.0.0/31"));
+  n.add_link(t.l2_up, t.sp_d2, Ipv4Prefix::parse("172.16.0.2/31"));
+
+  n.device(t.leaf1).host_prefixes.push_back(t.p1);
+  n.device(t.leaf2).host_prefixes.push_back(t.p2);
+
+  // LPM order via priority = 32 - prefix length.
+  t.l1_to_p1 = n.add_rule(t.leaf1, MatchSpec::for_dst(t.p1),
+                          Action::forward({t.l1_host}), RouteKind::Internal, 8);
+  t.l1_to_p2 = n.add_rule(t.leaf1, MatchSpec::for_dst(t.p2),
+                          Action::forward({t.l1_up}), RouteKind::Internal, 8);
+  t.l1_default = n.add_rule(t.leaf1, MatchSpec::for_dst(Ipv4Prefix::parse("0.0.0.0/0")),
+                            Action::forward({t.l1_up}), RouteKind::Default, 32);
+
+  t.sp_to_p1 = n.add_rule(t.spine, MatchSpec::for_dst(t.p1),
+                          Action::forward({t.sp_d1}), RouteKind::Internal, 8);
+  t.sp_to_p2 = n.add_rule(t.spine, MatchSpec::for_dst(t.p2),
+                          Action::forward({t.sp_d2}), RouteKind::Internal, 8);
+  t.sp_default_drop =
+      n.add_rule(t.spine, MatchSpec::for_dst(Ipv4Prefix::parse("0.0.0.0/0")),
+                 Action::drop(), RouteKind::Default, 32);
+
+  t.l2_to_p1 = n.add_rule(t.leaf2, MatchSpec::for_dst(t.p1),
+                          Action::forward({t.l2_up}), RouteKind::Internal, 8);
+  t.l2_to_p2 = n.add_rule(t.leaf2, MatchSpec::for_dst(t.p2),
+                          Action::forward({t.l2_host}), RouteKind::Internal, 8);
+  t.l2_default = n.add_rule(t.leaf2, MatchSpec::for_dst(Ipv4Prefix::parse("0.0.0.0/0")),
+                            Action::forward({t.l2_up}), RouteKind::Default, 32);
+  return t;
+}
+
+/// A concrete packet destined into `prefix` (first address + offset).
+inline packet::ConcretePacket packet_to(const Ipv4Prefix& prefix, uint32_t offset = 1) {
+  packet::ConcretePacket p;
+  p.dst_ip = prefix.first() + offset;
+  p.src_ip = 0xc0a80001u;
+  p.proto = 6;
+  p.src_port = 12345;
+  p.dst_port = 80;
+  return p;
+}
+
+}  // namespace yardstick::testutil

@@ -1,0 +1,200 @@
+// Tests for the fat-tree and regional topology generators, including
+// forwarding sanity on the generated FIBs.
+#include <gtest/gtest.h>
+
+#include "dataplane/simulator.hpp"
+#include "routing/fib_builder.hpp"
+#include "topo/fattree.hpp"
+#include "topo/regional.hpp"
+
+namespace yardstick::topo {
+namespace {
+
+using net::PortKind;
+using net::Role;
+using packet::Ipv4Prefix;
+using packet::PacketSet;
+
+TEST(FatTreeTest, RejectsBadArity) {
+  EXPECT_THROW(make_fat_tree({.k = 3}), std::invalid_argument);
+  EXPECT_THROW(make_fat_tree({.k = 0}), std::invalid_argument);
+}
+
+class FatTreeSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreeSizes, RouterCountIsFiveKSquaredOverFour) {
+  const int k = GetParam();
+  const FatTree tree = make_fat_tree({.k = k, .with_wan = false});
+  EXPECT_EQ(tree.tors.size(), static_cast<size_t>(k * k / 2));
+  EXPECT_EQ(tree.aggs.size(), static_cast<size_t>(k * k / 2));
+  EXPECT_EQ(tree.cores.size(), static_cast<size_t>(k * k / 4));
+  EXPECT_EQ(tree.network.device_count(), static_cast<size_t>(5 * k * k / 4));
+}
+
+TEST_P(FatTreeSizes, WiringDegrees) {
+  const int k = GetParam();
+  const FatTree tree = make_fat_tree({.k = k, .with_wan = false});
+  for (const net::DeviceId tor : tree.tors) {
+    EXPECT_EQ(tree.network.neighbors(tor).size(), static_cast<size_t>(k / 2));
+  }
+  for (const net::DeviceId agg : tree.aggs) {
+    EXPECT_EQ(tree.network.neighbors(agg).size(), static_cast<size_t>(k));
+  }
+  for (const net::DeviceId core : tree.cores) {
+    EXPECT_EQ(tree.network.neighbors(core).size(), static_cast<size_t>(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Arities, FatTreeSizes, ::testing::Values(2, 4, 8));
+
+TEST(FatTreeTest, EveryTorHasOneHostedPrefixAndPort) {
+  const FatTree tree = make_fat_tree({.k = 4});
+  for (const net::DeviceId tor : tree.tors) {
+    EXPECT_EQ(tree.network.device(tor).host_prefixes.size(), 1u);
+    EXPECT_EQ(tree.network.ports_of_kind(tor, PortKind::HostPort).size(), 1u);
+  }
+  // Hosted prefixes are pairwise distinct.
+  std::set<uint32_t> addresses;
+  for (const net::DeviceId tor : tree.tors) {
+    addresses.insert(tree.network.device(tor).host_prefixes.front().address());
+  }
+  EXPECT_EQ(addresses.size(), tree.tors.size());
+}
+
+TEST(FatTreeTest, WanAttachmentAndWideAreaPrefixes) {
+  const FatTree tree = make_fat_tree({.k = 4, .with_wan = true, .wide_area_prefix_count = 3});
+  ASSERT_TRUE(tree.wan.valid());
+  EXPECT_EQ(tree.network.neighbors(tree.wan).size(), tree.cores.size());
+  EXPECT_EQ(tree.routing.wide_area_prefixes.at(tree.wan).size(), 3u);
+  EXPECT_EQ(tree.network.ports_of_kind(tree.wan, PortKind::ExternalPort).size(), 1u);
+}
+
+TEST(FatTreeTest, LoopbackOption) {
+  const FatTree without = make_fat_tree({.k = 4, .with_loopbacks = false});
+  EXPECT_TRUE(without.network.device(without.tors[0]).loopbacks.empty());
+  FatTreeParams params{.k = 4};
+  params.with_loopbacks = true;
+  const FatTree with = make_fat_tree(params);
+  for (const net::Device& dev : with.network.devices()) {
+    if (dev.role == Role::Wan) continue;
+    EXPECT_EQ(dev.loopbacks.size(), 1u) << dev.name;
+  }
+}
+
+TEST(FatTreeTest, EndToEndForwardingAfterFibBuild) {
+  FatTree tree = make_fat_tree({.k = 4});
+  routing::FibBuilder::compute_and_build(tree.network, tree.routing);
+
+  bdd::BddManager mgr(packet::kNumHeaderBits);
+  const dataplane::MatchSetIndex index(mgr, tree.network);
+  const dataplane::Transfer transfer(index);
+  const dataplane::ConcreteSimulator sim(transfer);
+
+  // First ToR to last ToR (different pods) and to the WAN.
+  const net::DeviceId src = tree.tors.front();
+  const net::DeviceId dst = tree.tors.back();
+  packet::ConcretePacket pkt;
+  pkt.dst_ip = tree.network.device(dst).host_prefixes.front().first() + 7;
+  const auto trace = sim.run(src, net::InterfaceId{}, pkt);
+  EXPECT_EQ(trace.disposition, dataplane::Disposition::Delivered);
+  EXPECT_EQ(tree.network.interface(trace.egress).device, dst);
+
+  pkt.dst_ip = 0x08080808u;  // not hosted anywhere -> default to WAN
+  const auto wan_trace = sim.run(src, net::InterfaceId{}, pkt);
+  EXPECT_EQ(wan_trace.disposition, dataplane::Disposition::Delivered);
+  EXPECT_EQ(tree.network.interface(wan_trace.egress).device, tree.wan);
+}
+
+TEST(RegionalTest, RejectsBadParameters) {
+  RegionalParams p;
+  p.datacenters = 0;
+  EXPECT_THROW(make_regional(p), std::invalid_argument);
+}
+
+TEST(RegionalTest, LayerCounts) {
+  RegionalParams p;  // defaults: 2 DCs, 2 pods, 4 tors/pod, 2 aggs/pod, 4 spines, 4 hubs, 2 wans
+  const RegionalNetwork region = make_regional(p);
+  EXPECT_EQ(region.tors.size(), static_cast<size_t>(p.datacenters * p.pods_per_dc * p.tors_per_pod));
+  EXPECT_EQ(region.aggs.size(), static_cast<size_t>(p.datacenters * p.pods_per_dc * p.aggs_per_pod));
+  EXPECT_EQ(region.spines.size(), static_cast<size_t>(p.datacenters * p.spines_per_dc));
+  EXPECT_EQ(region.hubs.size(), static_cast<size_t>(p.hubs));
+  EXPECT_EQ(region.wans.size(), static_cast<size_t>(p.wans));
+}
+
+TEST(RegionalTest, EveryRouterHasLoopbackAndLocalPort) {
+  const RegionalNetwork region = make_regional({});
+  for (const net::Device& dev : region.network.devices()) {
+    EXPECT_EQ(dev.loopbacks.size(), 1u) << dev.name;
+    EXPECT_EQ(region.network.ports_of_kind(dev.id, PortKind::LocalPort).size(), 1u);
+  }
+}
+
+TEST(RegionalTest, HubsWithoutDefaultAreConfigured) {
+  RegionalParams p;
+  p.hubs_without_default = 2;
+  const RegionalNetwork region = make_regional(p);
+  EXPECT_EQ(region.routing.no_default_devices.size(), 2u);
+}
+
+TEST(RegionalTest, CrossDatacenterForwarding) {
+  RegionalParams p;
+  RegionalNetwork region = make_regional(p);
+  routing::FibBuilder::compute_and_build(region.network, region.routing);
+
+  bdd::BddManager mgr(packet::kNumHeaderBits);
+  const dataplane::MatchSetIndex index(mgr, region.network);
+  const dataplane::Transfer transfer(index);
+  const dataplane::ConcreteSimulator sim(transfer);
+
+  // ToR in DC0 to a ToR in DC1 must cross spine + hub layers.
+  const net::DeviceId src = region.tors.front();
+  const net::DeviceId dst = region.tors.back();
+  packet::ConcretePacket pkt;
+  pkt.dst_ip = region.network.device(dst).host_prefixes.front().first() + 3;
+  const auto trace = sim.run(src, net::InterfaceId{}, pkt);
+  ASSERT_EQ(trace.disposition, dataplane::Disposition::Delivered);
+  EXPECT_EQ(region.network.interface(trace.egress).device, dst);
+  bool crossed_hub = false;
+  for (const auto& hop : trace.hops) {
+    if (region.network.device(hop.device).role == Role::RegionalHub) crossed_hub = true;
+  }
+  EXPECT_TRUE(crossed_hub);
+}
+
+TEST(RegionalTest, WideAreaTrafficExitsViaWan) {
+  RegionalNetwork region = make_regional({});
+  routing::FibBuilder::compute_and_build(region.network, region.routing);
+
+  bdd::BddManager mgr(packet::kNumHeaderBits);
+  const dataplane::MatchSetIndex index(mgr, region.network);
+  const dataplane::Transfer transfer(index);
+  const dataplane::ConcreteSimulator sim(transfer);
+
+  packet::ConcretePacket pkt;
+  pkt.dst_ip = Ipv4Prefix::parse("100.64.0.0/16").first() + 9;
+  const auto trace = sim.run(region.tors.front(), net::InterfaceId{}, pkt);
+  ASSERT_EQ(trace.disposition, dataplane::Disposition::Delivered);
+  EXPECT_EQ(region.network.device(region.network.interface(trace.egress).device).role,
+            Role::Wan);
+}
+
+TEST(RegionalTest, LoopbackReachableAcrossRegion) {
+  RegionalNetwork region = make_regional({});
+  routing::FibBuilder::compute_and_build(region.network, region.routing);
+
+  bdd::BddManager mgr(packet::kNumHeaderBits);
+  const dataplane::MatchSetIndex index(mgr, region.network);
+  const dataplane::Transfer transfer(index);
+  const dataplane::ConcreteSimulator sim(transfer);
+
+  const net::DeviceId spine = region.spines.back();
+  packet::ConcretePacket pkt;
+  pkt.dst_ip = region.network.device(spine).loopbacks.front().first();
+  const auto trace = sim.run(region.tors.front(), net::InterfaceId{}, pkt);
+  ASSERT_EQ(trace.disposition, dataplane::Disposition::Delivered);
+  EXPECT_EQ(region.network.interface(trace.egress).device, spine);
+  EXPECT_EQ(region.network.interface(trace.egress).kind, PortKind::LocalPort);
+}
+
+}  // namespace
+}  // namespace yardstick::topo

@@ -1,0 +1,275 @@
+// yardstick — command-line front end.
+//
+// Builds a synthetic topology (fat-tree or multi-DC regional network),
+// computes its forwarding state with the eBGP substrate, runs a test
+// suite with coverage tracking, and prints the coverage report.
+//
+//   yardstick fattree --k 8 --suite fattree --paths
+//   yardstick regional --suite original --json
+//   yardstick regional --suite final --acl --save-trace trace.txt
+//   yardstick regional --load-trace trace.txt
+//
+// Exit code: 0 when all tests pass, 1 on test failures, 2 on usage errors.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "netio/network_format.hpp"
+#include "nettest/acl_checks.hpp"
+#include "nettest/contract_checks.hpp"
+#include "nettest/reachability.hpp"
+#include "nettest/state_checks.hpp"
+#include "routing/fib_builder.hpp"
+#include "topo/acl.hpp"
+#include "topo/fattree.hpp"
+#include "topo/regional.hpp"
+#include "yardstick/analysis.hpp"
+#include "yardstick/engine.hpp"
+#include "yardstick/json.hpp"
+#include "yardstick/persist.hpp"
+
+using namespace yardstick;
+
+namespace {
+
+struct CliOptions {
+  std::string topology;       // "fattree" | "regional" | "file"
+  std::string network_file;   // for topology == "file"
+  int k = 4;
+  topo::RegionalParams regional;
+  std::string suite = "final";
+  bool with_acl = false;
+  bool json = false;
+  bool paths = false;
+  double path_budget_s = 60.0;
+  bool analyze = false;
+  size_t suggest = 0;
+  std::optional<std::string> save_trace;
+  std::optional<std::string> load_trace;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <fattree|regional|file PATH> [options]\n"
+               "  --k N                fat-tree arity (default 4)\n"
+               "  --datacenters N      regional: datacenter count\n"
+               "  --pods N             regional: pods per datacenter\n"
+               "  --tors N             regional: ToRs per pod\n"
+               "  --suite NAME         original|new|final|fattree (default final)\n"
+               "  --acl                install ToR ingress ACLs and ACL tests\n"
+               "  --json               JSON output\n"
+               "  --paths [SECONDS]    also compute path coverage (budget)\n"
+               "  --analyze            per-test contributions + redundancy\n"
+               "  --suggest N          synthesize probes for N untested rules\n"
+               "  --save-trace FILE    persist the coverage trace\n"
+               "  --load-trace FILE    skip testing; compute metrics from FILE\n",
+               argv0);
+  return 2;
+}
+
+std::optional<CliOptions> parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  CliOptions opts;
+  opts.topology = argv[1];
+  int first_option = 2;
+  if (opts.topology == "file") {
+    if (argc < 3) return std::nullopt;
+    opts.network_file = argv[2];
+    first_option = 3;
+  } else if (opts.topology != "fattree" && opts.topology != "regional") {
+    return std::nullopt;
+  }
+
+  for (int i = first_option; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_int = [&](int& out) {
+      if (i + 1 >= argc) return false;
+      out = std::atoi(argv[++i]);
+      return out > 0;
+    };
+    if (arg == "--k") {
+      if (!next_int(opts.k)) return std::nullopt;
+    } else if (arg == "--datacenters") {
+      if (!next_int(opts.regional.datacenters)) return std::nullopt;
+    } else if (arg == "--pods") {
+      if (!next_int(opts.regional.pods_per_dc)) return std::nullopt;
+    } else if (arg == "--tors") {
+      if (!next_int(opts.regional.tors_per_pod)) return std::nullopt;
+    } else if (arg == "--suite") {
+      if (i + 1 >= argc) return std::nullopt;
+      opts.suite = argv[++i];
+    } else if (arg == "--acl") {
+      opts.with_acl = true;
+    } else if (arg == "--json") {
+      opts.json = true;
+    } else if (arg == "--paths") {
+      opts.paths = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        opts.path_budget_s = std::atof(argv[++i]);
+      }
+    } else if (arg == "--analyze") {
+      opts.analyze = true;
+    } else if (arg == "--suggest") {
+      int n = 0;
+      if (!next_int(n)) return std::nullopt;
+      opts.suggest = static_cast<size_t>(n);
+    } else if (arg == "--save-trace") {
+      if (i + 1 >= argc) return std::nullopt;
+      opts.save_trace = argv[++i];
+    } else if (arg == "--load-trace") {
+      if (i + 1 >= argc) return std::nullopt;
+      opts.load_trace = argv[++i];
+    } else {
+      return std::nullopt;
+    }
+  }
+  return opts;
+}
+
+nettest::TestSuite build_suite(const CliOptions& opts,
+                               const std::unordered_set<net::DeviceId>& excluded) {
+  nettest::TestSuite suite(opts.suite);
+  const bool original = opts.suite == "original" || opts.suite == "final";
+  const bool fresh = opts.suite == "new" || opts.suite == "final";
+  if (opts.suite == "fattree") {
+    suite.add(std::make_unique<nettest::DefaultRouteCheck>(excluded));
+    suite.add(std::make_unique<nettest::ToRContract>());
+    suite.add(std::make_unique<nettest::ToRReachability>());
+    suite.add(std::make_unique<nettest::ToRPingmesh>());
+  }
+  if (original) {
+    suite.add(std::make_unique<nettest::DefaultRouteCheck>(excluded));
+    suite.add(std::make_unique<nettest::AggCanReachTorLoopback>());
+  }
+  if (fresh) {
+    suite.add(std::make_unique<nettest::InternalRouteCheck>());
+    suite.add(std::make_unique<nettest::ConnectedRouteCheck>());
+  }
+  if (opts.with_acl) {
+    suite.add(std::make_unique<nettest::AclBlockCheck>());
+    suite.add(std::make_unique<nettest::BlockedPortCheck>());
+  }
+  return suite;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<CliOptions> parsed = parse(argc, argv);
+  if (!parsed) return usage(argv[0]);
+  const CliOptions& opts = *parsed;
+
+  // Build topology + forwarding state.
+  net::Network* network = nullptr;
+  routing::RoutingConfig* routing = nullptr;
+  std::vector<net::DeviceId> tors;
+  topo::FatTree fattree;
+  topo::RegionalNetwork regional;
+  netio::LoadedNetwork from_file;
+  bool state_loaded = false;
+  if (opts.topology == "fattree") {
+    fattree = topo::make_fat_tree({.k = opts.k});
+    network = &fattree.network;
+    routing = &fattree.routing;
+    tors = fattree.tors;
+  } else if (opts.topology == "regional") {
+    regional = topo::make_regional(opts.regional);
+    network = &regional.network;
+    routing = &regional.routing;
+    tors = regional.tors;
+  } else {
+    try {
+      from_file = netio::load_network_file(opts.network_file);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    network = &from_file.network;
+    routing = &from_file.routing;
+    tors = network->devices_with_role(net::Role::ToR);
+    state_loaded = from_file.has_forwarding_state;
+  }
+  if (!state_loaded) {
+    routing::FibBuilder::compute_and_build(*network, *routing);
+    if (opts.with_acl) topo::install_ingress_acls(*network, tors);
+  }
+  if (!opts.json) std::printf("%s\n", network->summary().c_str());
+
+  bdd::BddManager mgr(packet::kNumHeaderBits);
+  ys::CoverageTracker tracker;
+  size_t failures = 0;
+
+  if (opts.load_trace) {
+    coverage::CoverageTrace loaded = ys::load_trace(*opts.load_trace, mgr);
+    tracker.mark_packet(loaded.marked_packets());
+    for (const net::RuleId rid : loaded.marked_rules()) tracker.mark_rule(rid);
+    if (!opts.json) std::printf("loaded trace from %s\n", opts.load_trace->c_str());
+  } else {
+    const dataplane::MatchSetIndex match_sets(mgr, *network);
+    const dataplane::Transfer transfer(match_sets);
+    const std::unordered_set<net::DeviceId> excluded(routing->no_default_devices.begin(),
+                                                     routing->no_default_devices.end());
+    const nettest::TestSuite suite = build_suite(opts, excluded);
+    const auto results = suite.run_all(transfer, tracker);
+    for (const auto& r : results) failures += r.failures;
+    if (opts.json) {
+      std::printf("{\"tests\":%s,", ys::results_to_json(results).c_str());
+    } else {
+      for (const auto& r : results) {
+        std::printf("test %-24s %s (%zu checks, %zu failures)\n", r.name.c_str(),
+                    r.passed() ? "PASS" : "FAIL", r.checks, r.failures);
+      }
+    }
+    if (opts.analyze && !opts.json) {
+      const ys::SuiteAnalyzer analyzer(mgr, *network);
+      const ys::SuiteAnalysis analysis = analyzer.analyze(transfer, suite);
+      std::printf("\nsuite analysis (fractional rule coverage):\n");
+      for (const auto& t : analysis.tests) {
+        std::printf("  %-24s solo %6.1f%%  marginal %6.1f%%  %s\n", t.name.c_str(),
+                    t.solo * 100.0, t.marginal * 100.0,
+                    t.redundant ? "REDUNDANT" : "keep");
+      }
+    }
+  }
+
+  const ys::CoverageEngine engine(mgr, *network, tracker.trace());
+  const ys::CoverageReport report = engine.report();
+  if (opts.json) {
+    if (opts.load_trace) std::printf("{");
+    std::printf("\"coverage\":%s", ys::report_to_json(report).c_str());
+  } else {
+    std::printf("\n%s", report.to_text().c_str());
+  }
+
+  if (opts.paths) {
+    const ys::PathCoverageResult paths = engine.path_coverage({}, opts.path_budget_s);
+    if (opts.json) {
+      std::printf(",\"paths\":{\"total\":%llu,\"covered\":%llu,\"fractional\":%f,"
+                  "\"truncated\":%s}",
+                  static_cast<unsigned long long>(paths.total_paths),
+                  static_cast<unsigned long long>(paths.covered_paths), paths.fractional,
+                  paths.truncated ? "true" : "false");
+    } else {
+      std::printf("path coverage: %llu/%llu covered (%.1f%%)%s\n",
+                  static_cast<unsigned long long>(paths.covered_paths),
+                  static_cast<unsigned long long>(paths.total_paths),
+                  paths.fractional * 100.0, paths.truncated ? " [truncated]" : "");
+    }
+  }
+  if (opts.json) std::printf("}\n");
+
+  if (opts.suggest > 0 && !opts.json) {
+    std::printf("\nsuggested probes for untested rules:\n");
+    for (const ys::TestSuggestion& s : ys::suggest_tests(engine, opts.suggest)) {
+      std::printf("  %s\n", s.to_string(*network).c_str());
+    }
+  }
+
+  if (opts.save_trace) {
+    ys::save_trace(*opts.save_trace, tracker.trace(), mgr);
+    if (!opts.json) std::printf("trace saved to %s\n", opts.save_trace->c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
