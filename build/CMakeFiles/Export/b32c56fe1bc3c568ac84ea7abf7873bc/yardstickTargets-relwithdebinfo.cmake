@@ -1,0 +1,118 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "yardstick::ys_bdd" for configuration "RelWithDebInfo"
+set_property(TARGET yardstick::ys_bdd APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(yardstick::ys_bdd PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libys_bdd.a"
+  )
+
+list(APPEND _cmake_import_check_targets yardstick::ys_bdd )
+list(APPEND _cmake_import_check_files_for_yardstick::ys_bdd "${_IMPORT_PREFIX}/lib/libys_bdd.a" )
+
+# Import target "yardstick::ys_packet" for configuration "RelWithDebInfo"
+set_property(TARGET yardstick::ys_packet APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(yardstick::ys_packet PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libys_packet.a"
+  )
+
+list(APPEND _cmake_import_check_targets yardstick::ys_packet )
+list(APPEND _cmake_import_check_files_for_yardstick::ys_packet "${_IMPORT_PREFIX}/lib/libys_packet.a" )
+
+# Import target "yardstick::ys_netmodel" for configuration "RelWithDebInfo"
+set_property(TARGET yardstick::ys_netmodel APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(yardstick::ys_netmodel PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libys_netmodel.a"
+  )
+
+list(APPEND _cmake_import_check_targets yardstick::ys_netmodel )
+list(APPEND _cmake_import_check_files_for_yardstick::ys_netmodel "${_IMPORT_PREFIX}/lib/libys_netmodel.a" )
+
+# Import target "yardstick::ys_dataplane" for configuration "RelWithDebInfo"
+set_property(TARGET yardstick::ys_dataplane APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(yardstick::ys_dataplane PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libys_dataplane.a"
+  )
+
+list(APPEND _cmake_import_check_targets yardstick::ys_dataplane )
+list(APPEND _cmake_import_check_files_for_yardstick::ys_dataplane "${_IMPORT_PREFIX}/lib/libys_dataplane.a" )
+
+# Import target "yardstick::ys_routing" for configuration "RelWithDebInfo"
+set_property(TARGET yardstick::ys_routing APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(yardstick::ys_routing PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libys_routing.a"
+  )
+
+list(APPEND _cmake_import_check_targets yardstick::ys_routing )
+list(APPEND _cmake_import_check_files_for_yardstick::ys_routing "${_IMPORT_PREFIX}/lib/libys_routing.a" )
+
+# Import target "yardstick::ys_topo" for configuration "RelWithDebInfo"
+set_property(TARGET yardstick::ys_topo APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(yardstick::ys_topo PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libys_topo.a"
+  )
+
+list(APPEND _cmake_import_check_targets yardstick::ys_topo )
+list(APPEND _cmake_import_check_files_for_yardstick::ys_topo "${_IMPORT_PREFIX}/lib/libys_topo.a" )
+
+# Import target "yardstick::ys_coverage" for configuration "RelWithDebInfo"
+set_property(TARGET yardstick::ys_coverage APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(yardstick::ys_coverage PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libys_coverage.a"
+  )
+
+list(APPEND _cmake_import_check_targets yardstick::ys_coverage )
+list(APPEND _cmake_import_check_files_for_yardstick::ys_coverage "${_IMPORT_PREFIX}/lib/libys_coverage.a" )
+
+# Import target "yardstick::ys_yardstick" for configuration "RelWithDebInfo"
+set_property(TARGET yardstick::ys_yardstick APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(yardstick::ys_yardstick PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libys_yardstick.a"
+  )
+
+list(APPEND _cmake_import_check_targets yardstick::ys_yardstick )
+list(APPEND _cmake_import_check_files_for_yardstick::ys_yardstick "${_IMPORT_PREFIX}/lib/libys_yardstick.a" )
+
+# Import target "yardstick::ys_nettest" for configuration "RelWithDebInfo"
+set_property(TARGET yardstick::ys_nettest APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(yardstick::ys_nettest PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libys_nettest.a"
+  )
+
+list(APPEND _cmake_import_check_targets yardstick::ys_nettest )
+list(APPEND _cmake_import_check_files_for_yardstick::ys_nettest "${_IMPORT_PREFIX}/lib/libys_nettest.a" )
+
+# Import target "yardstick::ys_netio" for configuration "RelWithDebInfo"
+set_property(TARGET yardstick::ys_netio APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(yardstick::ys_netio PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libys_netio.a"
+  )
+
+list(APPEND _cmake_import_check_targets yardstick::ys_netio )
+list(APPEND _cmake_import_check_files_for_yardstick::ys_netio "${_IMPORT_PREFIX}/lib/libys_netio.a" )
+
+# Import target "yardstick::yardstick" for configuration "RelWithDebInfo"
+set_property(TARGET yardstick::yardstick APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(yardstick::yardstick PROPERTIES
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/bin/yardstick"
+  )
+
+list(APPEND _cmake_import_check_targets yardstick::yardstick )
+list(APPEND _cmake_import_check_files_for_yardstick::yardstick "${_IMPORT_PREFIX}/bin/yardstick" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

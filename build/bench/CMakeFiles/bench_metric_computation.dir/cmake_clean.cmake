@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_metric_computation.dir/bench_metric_computation.cpp.o"
+  "CMakeFiles/bench_metric_computation.dir/bench_metric_computation.cpp.o.d"
+  "bench_metric_computation"
+  "bench_metric_computation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_metric_computation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_packetset_ops.dir/bench_packetset_ops.cpp.o"
+  "CMakeFiles/bench_packetset_ops.dir/bench_packetset_ops.cpp.o.d"
+  "bench_packetset_ops"
+  "bench_packetset_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_packetset_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

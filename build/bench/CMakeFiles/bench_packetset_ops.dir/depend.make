@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_packetset_ops.
+# This may be replaced when dependencies are built.

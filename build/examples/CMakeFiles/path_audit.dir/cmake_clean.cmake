@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_audit.dir/path_audit.cpp.o"
+  "CMakeFiles/path_audit.dir/path_audit.cpp.o.d"
+  "path_audit"
+  "path_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

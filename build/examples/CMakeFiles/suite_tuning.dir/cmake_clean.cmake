@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_tuning.dir/suite_tuning.cpp.o"
+  "CMakeFiles/suite_tuning.dir/suite_tuning.cpp.o.d"
+  "suite_tuning"
+  "suite_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/ys_bdd.dir/bdd.cpp.o.d"
+  "libys_bdd.a"
+  "libys_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

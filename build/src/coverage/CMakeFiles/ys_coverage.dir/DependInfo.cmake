@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coverage/components.cpp" "src/coverage/CMakeFiles/ys_coverage.dir/components.cpp.o" "gcc" "src/coverage/CMakeFiles/ys_coverage.dir/components.cpp.o.d"
+  "/root/repo/src/coverage/covered_sets.cpp" "src/coverage/CMakeFiles/ys_coverage.dir/covered_sets.cpp.o" "gcc" "src/coverage/CMakeFiles/ys_coverage.dir/covered_sets.cpp.o.d"
+  "/root/repo/src/coverage/framework.cpp" "src/coverage/CMakeFiles/ys_coverage.dir/framework.cpp.o" "gcc" "src/coverage/CMakeFiles/ys_coverage.dir/framework.cpp.o.d"
+  "/root/repo/src/coverage/path_explorer.cpp" "src/coverage/CMakeFiles/ys_coverage.dir/path_explorer.cpp.o" "gcc" "src/coverage/CMakeFiles/ys_coverage.dir/path_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/ys_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmodel/CMakeFiles/ys_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/ys_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/ys_bdd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

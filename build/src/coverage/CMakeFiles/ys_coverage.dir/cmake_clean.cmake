@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_coverage.dir/components.cpp.o"
+  "CMakeFiles/ys_coverage.dir/components.cpp.o.d"
+  "CMakeFiles/ys_coverage.dir/covered_sets.cpp.o"
+  "CMakeFiles/ys_coverage.dir/covered_sets.cpp.o.d"
+  "CMakeFiles/ys_coverage.dir/framework.cpp.o"
+  "CMakeFiles/ys_coverage.dir/framework.cpp.o.d"
+  "CMakeFiles/ys_coverage.dir/path_explorer.cpp.o"
+  "CMakeFiles/ys_coverage.dir/path_explorer.cpp.o.d"
+  "libys_coverage.a"
+  "libys_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_dataplane.dir/match_sets.cpp.o"
+  "CMakeFiles/ys_dataplane.dir/match_sets.cpp.o.d"
+  "CMakeFiles/ys_dataplane.dir/simulator.cpp.o"
+  "CMakeFiles/ys_dataplane.dir/simulator.cpp.o.d"
+  "CMakeFiles/ys_dataplane.dir/transfer.cpp.o"
+  "CMakeFiles/ys_dataplane.dir/transfer.cpp.o.d"
+  "libys_dataplane.a"
+  "libys_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

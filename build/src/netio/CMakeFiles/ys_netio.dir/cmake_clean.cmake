@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_netio.dir/network_format.cpp.o"
+  "CMakeFiles/ys_netio.dir/network_format.cpp.o.d"
+  "libys_netio.a"
+  "libys_netio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_netio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_netmodel.dir/network.cpp.o"
+  "CMakeFiles/ys_netmodel.dir/network.cpp.o.d"
+  "libys_netmodel.a"
+  "libys_netmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_netmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nettest/acl_checks.cpp" "src/nettest/CMakeFiles/ys_nettest.dir/acl_checks.cpp.o" "gcc" "src/nettest/CMakeFiles/ys_nettest.dir/acl_checks.cpp.o.d"
+  "/root/repo/src/nettest/contract_checks.cpp" "src/nettest/CMakeFiles/ys_nettest.dir/contract_checks.cpp.o" "gcc" "src/nettest/CMakeFiles/ys_nettest.dir/contract_checks.cpp.o.d"
+  "/root/repo/src/nettest/local_forward.cpp" "src/nettest/CMakeFiles/ys_nettest.dir/local_forward.cpp.o" "gcc" "src/nettest/CMakeFiles/ys_nettest.dir/local_forward.cpp.o.d"
+  "/root/repo/src/nettest/reachability.cpp" "src/nettest/CMakeFiles/ys_nettest.dir/reachability.cpp.o" "gcc" "src/nettest/CMakeFiles/ys_nettest.dir/reachability.cpp.o.d"
+  "/root/repo/src/nettest/shortest_paths.cpp" "src/nettest/CMakeFiles/ys_nettest.dir/shortest_paths.cpp.o" "gcc" "src/nettest/CMakeFiles/ys_nettest.dir/shortest_paths.cpp.o.d"
+  "/root/repo/src/nettest/state_checks.cpp" "src/nettest/CMakeFiles/ys_nettest.dir/state_checks.cpp.o" "gcc" "src/nettest/CMakeFiles/ys_nettest.dir/state_checks.cpp.o.d"
+  "/root/repo/src/nettest/waypoint.cpp" "src/nettest/CMakeFiles/ys_nettest.dir/waypoint.cpp.o" "gcc" "src/nettest/CMakeFiles/ys_nettest.dir/waypoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/ys_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/yardstick/CMakeFiles/ys_yardstick.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/ys_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/ys_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmodel/CMakeFiles/ys_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/ys_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/ys_bdd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_nettest.dir/acl_checks.cpp.o"
+  "CMakeFiles/ys_nettest.dir/acl_checks.cpp.o.d"
+  "CMakeFiles/ys_nettest.dir/contract_checks.cpp.o"
+  "CMakeFiles/ys_nettest.dir/contract_checks.cpp.o.d"
+  "CMakeFiles/ys_nettest.dir/local_forward.cpp.o"
+  "CMakeFiles/ys_nettest.dir/local_forward.cpp.o.d"
+  "CMakeFiles/ys_nettest.dir/reachability.cpp.o"
+  "CMakeFiles/ys_nettest.dir/reachability.cpp.o.d"
+  "CMakeFiles/ys_nettest.dir/shortest_paths.cpp.o"
+  "CMakeFiles/ys_nettest.dir/shortest_paths.cpp.o.d"
+  "CMakeFiles/ys_nettest.dir/state_checks.cpp.o"
+  "CMakeFiles/ys_nettest.dir/state_checks.cpp.o.d"
+  "CMakeFiles/ys_nettest.dir/waypoint.cpp.o"
+  "CMakeFiles/ys_nettest.dir/waypoint.cpp.o.d"
+  "libys_nettest.a"
+  "libys_nettest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_nettest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

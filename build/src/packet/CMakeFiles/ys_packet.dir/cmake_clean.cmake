@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_packet.dir/packet_set.cpp.o"
+  "CMakeFiles/ys_packet.dir/packet_set.cpp.o.d"
+  "libys_packet.a"
+  "libys_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_routing.dir/bgp_sim.cpp.o"
+  "CMakeFiles/ys_routing.dir/bgp_sim.cpp.o.d"
+  "CMakeFiles/ys_routing.dir/fib_builder.cpp.o"
+  "CMakeFiles/ys_routing.dir/fib_builder.cpp.o.d"
+  "libys_routing.a"
+  "libys_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

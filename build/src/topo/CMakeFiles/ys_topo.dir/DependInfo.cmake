@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/acl.cpp" "src/topo/CMakeFiles/ys_topo.dir/acl.cpp.o" "gcc" "src/topo/CMakeFiles/ys_topo.dir/acl.cpp.o.d"
+  "/root/repo/src/topo/fattree.cpp" "src/topo/CMakeFiles/ys_topo.dir/fattree.cpp.o" "gcc" "src/topo/CMakeFiles/ys_topo.dir/fattree.cpp.o.d"
+  "/root/repo/src/topo/regional.cpp" "src/topo/CMakeFiles/ys_topo.dir/regional.cpp.o" "gcc" "src/topo/CMakeFiles/ys_topo.dir/regional.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netmodel/CMakeFiles/ys_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/ys_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/ys_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/ys_bdd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

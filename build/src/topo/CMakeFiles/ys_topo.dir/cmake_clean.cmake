@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_topo.dir/acl.cpp.o"
+  "CMakeFiles/ys_topo.dir/acl.cpp.o.d"
+  "CMakeFiles/ys_topo.dir/fattree.cpp.o"
+  "CMakeFiles/ys_topo.dir/fattree.cpp.o.d"
+  "CMakeFiles/ys_topo.dir/regional.cpp.o"
+  "CMakeFiles/ys_topo.dir/regional.cpp.o.d"
+  "libys_topo.a"
+  "libys_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

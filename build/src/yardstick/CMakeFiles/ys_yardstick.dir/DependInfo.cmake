@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/yardstick/analysis.cpp" "src/yardstick/CMakeFiles/ys_yardstick.dir/analysis.cpp.o" "gcc" "src/yardstick/CMakeFiles/ys_yardstick.dir/analysis.cpp.o.d"
+  "/root/repo/src/yardstick/engine.cpp" "src/yardstick/CMakeFiles/ys_yardstick.dir/engine.cpp.o" "gcc" "src/yardstick/CMakeFiles/ys_yardstick.dir/engine.cpp.o.d"
+  "/root/repo/src/yardstick/json.cpp" "src/yardstick/CMakeFiles/ys_yardstick.dir/json.cpp.o" "gcc" "src/yardstick/CMakeFiles/ys_yardstick.dir/json.cpp.o.d"
+  "/root/repo/src/yardstick/persist.cpp" "src/yardstick/CMakeFiles/ys_yardstick.dir/persist.cpp.o" "gcc" "src/yardstick/CMakeFiles/ys_yardstick.dir/persist.cpp.o.d"
+  "/root/repo/src/yardstick/report.cpp" "src/yardstick/CMakeFiles/ys_yardstick.dir/report.cpp.o" "gcc" "src/yardstick/CMakeFiles/ys_yardstick.dir/report.cpp.o.d"
+  "/root/repo/src/yardstick/snapshot.cpp" "src/yardstick/CMakeFiles/ys_yardstick.dir/snapshot.cpp.o" "gcc" "src/yardstick/CMakeFiles/ys_yardstick.dir/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coverage/CMakeFiles/ys_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/ys_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmodel/CMakeFiles/ys_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/ys_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/ys_bdd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

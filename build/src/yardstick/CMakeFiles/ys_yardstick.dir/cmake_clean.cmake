@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_yardstick.dir/analysis.cpp.o"
+  "CMakeFiles/ys_yardstick.dir/analysis.cpp.o.d"
+  "CMakeFiles/ys_yardstick.dir/engine.cpp.o"
+  "CMakeFiles/ys_yardstick.dir/engine.cpp.o.d"
+  "CMakeFiles/ys_yardstick.dir/json.cpp.o"
+  "CMakeFiles/ys_yardstick.dir/json.cpp.o.d"
+  "CMakeFiles/ys_yardstick.dir/persist.cpp.o"
+  "CMakeFiles/ys_yardstick.dir/persist.cpp.o.d"
+  "CMakeFiles/ys_yardstick.dir/report.cpp.o"
+  "CMakeFiles/ys_yardstick.dir/report.cpp.o.d"
+  "CMakeFiles/ys_yardstick.dir/snapshot.cpp.o"
+  "CMakeFiles/ys_yardstick.dir/snapshot.cpp.o.d"
+  "libys_yardstick.a"
+  "libys_yardstick.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_yardstick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acl_test.dir/acl_test.cpp.o"
+  "CMakeFiles/acl_test.dir/acl_test.cpp.o.d"
+  "acl_test"
+  "acl_test.pdb"
+  "acl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/located_packet_set_test.dir/located_packet_set_test.cpp.o"
+  "CMakeFiles/located_packet_set_test.dir/located_packet_set_test.cpp.o.d"
+  "located_packet_set_test"
+  "located_packet_set_test.pdb"
+  "located_packet_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/located_packet_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nettest_test.dir/nettest_test.cpp.o"
+  "CMakeFiles/nettest_test.dir/nettest_test.cpp.o.d"
+  "nettest_test"
+  "nettest_test.pdb"
+  "nettest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nettest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_coverage_test.dir/path_coverage_test.cpp.o"
+  "CMakeFiles/path_coverage_test.dir/path_coverage_test.cpp.o.d"
+  "path_coverage_test"
+  "path_coverage_test.pdb"
+  "path_coverage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

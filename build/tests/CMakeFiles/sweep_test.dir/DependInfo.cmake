@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sweep_test.cpp" "tests/CMakeFiles/sweep_test.dir/sweep_test.cpp.o" "gcc" "tests/CMakeFiles/sweep_test.dir/sweep_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdd/CMakeFiles/ys_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/ys_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmodel/CMakeFiles/ys_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/ys_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/ys_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/ys_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/ys_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/yardstick/CMakeFiles/ys_yardstick.dir/DependInfo.cmake"
+  "/root/repo/build/src/nettest/CMakeFiles/ys_nettest.dir/DependInfo.cmake"
+  "/root/repo/build/src/netio/CMakeFiles/ys_netio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waypoint_test.dir/waypoint_test.cpp.o"
+  "CMakeFiles/waypoint_test.dir/waypoint_test.cpp.o.d"
+  "waypoint_test"
+  "waypoint_test.pdb"
+  "waypoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waypoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bdd_test[1]_include.cmake")
+include("/root/repo/build/tests/prefix_test[1]_include.cmake")
+include("/root/repo/build/tests/packet_set_test[1]_include.cmake")
+include("/root/repo/build/tests/netmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/dataplane_test[1]_include.cmake")
+include("/root/repo/build/tests/routing_test[1]_include.cmake")
+include("/root/repo/build/tests/topo_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_framework_test[1]_include.cmake")
+include("/root/repo/build/tests/path_coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/nettest_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/case_study_test[1]_include.cmake")
+include("/root/repo/build/tests/acl_test[1]_include.cmake")
+include("/root/repo/build/tests/waypoint_test[1]_include.cmake")
+include("/root/repo/build/tests/tooling_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/located_packet_set_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/netio_test[1]_include.cmake")
+include("/root/repo/build/tests/bdd_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")

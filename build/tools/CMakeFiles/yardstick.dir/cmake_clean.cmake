@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yardstick.dir/yardstick_cli.cpp.o"
+  "CMakeFiles/yardstick.dir/yardstick_cli.cpp.o.d"
+  "yardstick"
+  "yardstick.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yardstick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
