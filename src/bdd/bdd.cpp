@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <sstream>
-#include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "common/fault.hpp"
+#include "common/status.hpp"
 
 namespace yardstick::bdd {
 
@@ -86,7 +88,7 @@ size_t Bdd::node_count() const {
 
 BddManager::BddManager(Var num_vars) : num_vars_(num_vars) {
   if (num_vars > 120) {
-    throw std::invalid_argument("BddManager supports at most 120 variables");
+    throw ys::InvalidInputError("BddManager supports at most 120 variables");
   }
   nodes_.reserve(kInitialUniqueCapacity);
   // Terminals occupy indices 0 and 1; their var is a sentinel past the end.
@@ -131,6 +133,15 @@ NodeIndex BddManager::make(Var v, NodeIndex low, NodeIndex high) {
     if (n.var == v && n.low == low && n.high == high) return occupant;
     slot = (slot + 1) & unique_mask_;
   }
+  // Fresh allocation: the budget gate runs before the arena mutates, so a
+  // tripped budget leaves the manager fully consistent.
+  if (budget_ != nullptr) {
+    if (budget_->max_bdd_nodes() != 0 && nodes_.size() >= budget_->max_bdd_nodes()) {
+      throw ys::BudgetExceededError(budget_->node_cap_description());
+    }
+    if ((nodes_.size() & 0xfff) == 0) budget_->check("bdd allocation");
+  }
+  if (fault::active()) fault::fire("bdd.make");
   const NodeIndex fresh = static_cast<NodeIndex>(nodes_.size());
   nodes_.push_back({v, low, high});
   unique_table_[slot] = fresh;

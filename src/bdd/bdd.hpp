@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bdd/uint128.hpp"
+#include "common/budget.hpp"
 
 namespace yardstick::bdd {
 
@@ -150,6 +151,15 @@ class BddManager {
   /// Disable the apply cache (ablation only; quadratic blow-ups expected).
   void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
 
+  /// Attach a resource budget (non-owning; nullptr = unlimited). The node
+  /// cap is enforced on every fresh allocation; the deadline and cancel
+  /// flag are polled every few thousand allocations. On a tripped budget,
+  /// make() throws ys::BudgetExceededError / ys::CancelledError *before*
+  /// mutating the arena, so the manager stays valid and callers can
+  /// degrade to partial results.
+  void set_budget(const ys::ResourceBudget* budget) { budget_ = budget; }
+  [[nodiscard]] const ys::ResourceBudget* budget() const { return budget_; }
+
   // --- Internal index-level API (used by Bdd operators; public so that
   // free functions and tests can drive the engine directly). ---
   enum class Op : uint8_t { And = 0, Or = 1, Xor = 2, Diff = 3 };
@@ -189,6 +199,7 @@ class BddManager {
   uint64_t op_cache_mask_ = 0;
   bool cache_enabled_ = true;
   CacheStats cache_stats_;
+  const ys::ResourceBudget* budget_ = nullptr;
 
   // Persistent per-node model-count memo (nodes are immutable).
   std::vector<Uint128> count_memo_;

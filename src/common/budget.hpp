@@ -1,0 +1,105 @@
+// ResourceBudget — cooperative deadline / memory / cancellation limits.
+//
+// The offline phase answers open-ended questions: BDD growth and the path
+// universe are unbounded in the worst case, so production callers need a
+// way to say "spend at most this much". A budget combines
+//   * a wall-clock deadline,
+//   * a cap on BDD arena nodes (the dominant memory consumer), and
+//   * a cooperative cancel flag that another thread may raise.
+// Long-running loops call poll()/check(); the BddManager enforces the node
+// cap at allocation time. When a limit trips, a typed BudgetExceededError
+// or CancelledError propagates to the nearest degradation point, which
+// records a `truncated` flag and returns partial results instead of
+// running away (see CoverageEngine).
+//
+// Budgets are passed by (non-owning) pointer; nullptr everywhere means
+// "unlimited", which keeps the default paths zero-cost.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace yardstick::ys {
+
+class ResourceBudget {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  ResourceBudget() = default;
+
+  /// Fluent setup: budget.with_deadline(5.0).with_max_bdd_nodes(1 << 20).
+  ResourceBudget& with_deadline(double seconds) {
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+    deadline_seconds_ = seconds;
+    has_deadline_ = true;
+    return *this;
+  }
+
+  ResourceBudget& with_max_bdd_nodes(size_t nodes) {
+    max_bdd_nodes_ = nodes;
+    return *this;
+  }
+
+  /// Raise the cooperative cancel flag (safe from another thread).
+  void request_cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// 0 = unlimited. Enforced by BddManager at node-allocation time.
+  [[nodiscard]] size_t max_bdd_nodes() const { return max_bdd_nodes_; }
+
+  [[nodiscard]] bool has_deadline() const { return has_deadline_; }
+
+  [[nodiscard]] bool deadline_passed() const {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// Non-throwing probe: has any cooperative limit (deadline, cancel)
+  /// tripped? The node cap is not reported here — it is enforced, with
+  /// full precision, inside the BDD allocator.
+  [[nodiscard]] bool exhausted() const {
+    return cancel_requested() || deadline_passed();
+  }
+
+  /// Throwing probe for long-running loops: raises CancelledError or
+  /// BudgetExceededError when a cooperative limit has tripped.
+  void check(const char* where) const {
+    if (cancel_requested()) throw CancelledError(where);
+    if (deadline_passed()) throw BudgetExceededError(deadline_description());
+  }
+
+  /// Amortized check(): consults the clock only every `stride` calls so it
+  /// can sit in per-rule / per-node loops. The cancel flag is still seen
+  /// promptly (it is a plain atomic load).
+  void poll(const char* where, uint32_t stride = 64) const {
+    if (cancel_requested()) throw CancelledError(where);
+    if (!has_deadline_) return;
+    if (++poll_counter_ % stride != 0) return;
+    if (deadline_passed()) throw BudgetExceededError(deadline_description());
+  }
+
+  [[nodiscard]] std::string deadline_description() const {
+    return "deadline " + std::to_string(deadline_seconds_) + "s";
+  }
+
+  [[nodiscard]] std::string node_cap_description() const {
+    return "bdd-nodes " + std::to_string(max_bdd_nodes_);
+  }
+
+ private:
+  Clock::time_point deadline_{};
+  double deadline_seconds_ = 0.0;
+  bool has_deadline_ = false;
+  size_t max_bdd_nodes_ = 0;
+  std::atomic<bool> cancelled_{false};
+  mutable uint32_t poll_counter_ = 0;
+};
+
+}  // namespace yardstick::ys

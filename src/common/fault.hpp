@@ -1,0 +1,87 @@
+// Fault-injection hooks — named failure points compiled into the library.
+//
+// Resilience claims ("save_trace never leaves a partial file", "the engine
+// degrades gracefully when the node budget trips mid-DFS") are only
+// testable if failures can be provoked at precise internal moments. Each
+// interesting site calls fire("site.name"); a test arms a site with a
+// countdown and an action (throw an IoError, flip a cancel flag), and the
+// Nth crossing of the site runs the action.
+//
+// Disarmed cost is one relaxed atomic load (`active()`), so the hooks stay
+// compiled into release builds; the registry itself is only touched while
+// at least one fault is armed. See tests/fault_injection.hpp for the RAII
+// harness test code uses.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace yardstick::fault {
+
+namespace detail {
+
+struct ArmedFault {
+  uint64_t remaining = 0;  // fires when a hit decrements this to zero
+  std::function<void()> action;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, ArmedFault> points;
+  std::atomic<int> armed_count{0};
+};
+
+inline Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace detail
+
+/// Fast disarmed-path probe; callers guard fire() with it on hot paths.
+[[nodiscard]] inline bool active() {
+  return detail::registry().armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+/// Arm `point` to run `action` on its `nth` crossing (1 = next crossing).
+/// The action may throw — the exception propagates out of the fire() site,
+/// exactly like a real failure there would.
+inline void arm(const std::string& point, uint64_t nth, std::function<void()> action) {
+  detail::Registry& r = detail::registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  if (!r.points.contains(point)) r.armed_count.fetch_add(1, std::memory_order_relaxed);
+  r.points[point] = {nth == 0 ? 1 : nth, std::move(action)};
+}
+
+/// Disarm everything (test teardown).
+inline void reset() {
+  detail::Registry& r = detail::registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.points.clear();
+  r.armed_count.store(0, std::memory_order_relaxed);
+}
+
+/// Record a crossing of `point`; runs the armed action when the countdown
+/// reaches zero. No-op (after the `active()` guard) when nothing is armed.
+inline void fire(const char* point) {
+  if (!active()) return;
+  std::function<void()> action;
+  {
+    detail::Registry& r = detail::registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.points.find(point);
+    if (it == r.points.end()) return;
+    if (--it->second.remaining > 0) return;
+    action = std::move(it->second.action);
+    r.points.erase(it);
+    r.armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  // Run outside the lock: the action may throw or re-arm.
+  if (action) action();
+}
+
+}  // namespace yardstick::fault

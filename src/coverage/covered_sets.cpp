@@ -4,37 +4,52 @@ namespace yardstick::coverage {
 
 using packet::PacketSet;
 
-CoveredSets::CoveredSets(const dataplane::MatchSetIndex& index, const CoverageTrace& trace)
-    : index_(index), trace_(trace) {
+CoveredSets::CoveredSets(const dataplane::MatchSetIndex& index, const CoverageTrace& trace,
+                         const ys::ResourceBudget* budget)
+    : index_(index), trace_(trace), truncated_(index.truncated()) {
   bdd::BddManager& mgr = index.manager();
   const net::Network& network = index.network();
   covered_.resize(network.rule_count());
 
-  for (const net::Device& dev : network.devices()) {
-    // One device-level P_T slice shared by all rules of the device.
-    PacketSet at_device;
-    bool at_device_computed = false;
-    const auto device_headers = [&]() -> const PacketSet& {
-      if (!at_device_computed) {
-        at_device = trace.headers_at_device(mgr, network, dev.id);
-        at_device_computed = true;
-      }
-      return at_device;
-    };
-    for (const net::TableKind table : {net::TableKind::Acl, net::TableKind::Fib}) {
-      for (const net::RuleId rid : network.table(dev.id, table)) {
-        if (trace.rule_marked(rid)) {
-          covered_[rid.value] = index.match_set(rid);
-          continue;
+  try {
+    for (const net::Device& dev : network.devices()) {
+      if (budget != nullptr) budget->poll("covered-set computation");
+      // One device-level P_T slice shared by all rules of the device.
+      PacketSet at_device;
+      bool at_device_computed = false;
+      const auto device_headers = [&]() -> const PacketSet& {
+        if (!at_device_computed) {
+          at_device = trace.headers_at_device(mgr, network, dev.id);
+          at_device_computed = true;
         }
-        PacketSet headers = device_headers();
-        // Packets the ingress ACL denies never reach the forwarding
-        // table, so they cannot exercise FIB rules behaviorally.
-        if (table == net::TableKind::Fib && network.has_acl(dev.id)) {
-          headers = headers.intersect(index.acl_permitted_space(dev.id));
+        return at_device;
+      };
+      for (const net::TableKind table : {net::TableKind::Acl, net::TableKind::Fib}) {
+        for (const net::RuleId rid : network.table(dev.id, table)) {
+          if (trace.rule_marked(rid)) {
+            covered_[rid.value] = index.match_set(rid);
+            continue;
+          }
+          PacketSet headers = device_headers();
+          // Packets the ingress ACL denies never reach the forwarding
+          // table, so they cannot exercise FIB rules behaviorally.
+          if (table == net::TableKind::Fib && network.has_acl(dev.id)) {
+            headers = headers.intersect(index.acl_permitted_space(dev.id));
+          }
+          covered_[rid.value] = headers.intersect(index.match_set(rid));
         }
-        covered_[rid.value] = headers.intersect(index.match_set(rid));
       }
+    }
+  } catch (const ys::StatusError& e) {
+    if (!ys::is_resource_exhaustion(e.code())) throw;
+    truncated_ = true;
+  }
+
+  // Degraded completion: rules never reached get empty (terminal-only)
+  // covered sets so metric queries stay well-formed.
+  if (truncated_) {
+    for (PacketSet& ps : covered_) {
+      if (!ps.valid()) ps = PacketSet::none(mgr);
     }
   }
 }

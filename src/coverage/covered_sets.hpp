@@ -22,7 +22,16 @@ namespace yardstick::coverage {
 class CoveredSets {
  public:
   /// Runs Algorithm 1 for every rule in the network.
-  CoveredSets(const dataplane::MatchSetIndex& index, const CoverageTrace& trace);
+  ///
+  /// `budget` (non-owning, may be null) bounds the computation: when it
+  /// trips mid-walk the remaining rules get empty covered sets, truncated()
+  /// flips to true, and construction completes without throwing.
+  CoveredSets(const dataplane::MatchSetIndex& index, const CoverageTrace& trace,
+              const ys::ResourceBudget* budget = nullptr);
+
+  /// True when a resource budget stopped Algorithm 1 early; covered sets
+  /// for the rules never reached are empty (coverage under-reported).
+  [[nodiscard]] bool truncated() const { return truncated_; }
 
   /// T[r]: packets with which the suite exercised rule r.
   [[nodiscard]] const packet::PacketSet& covered(net::RuleId rule) const {
@@ -49,6 +58,7 @@ class CoveredSets {
   const dataplane::MatchSetIndex& index_;
   const CoverageTrace& trace_;
   std::vector<packet::PacketSet> covered_;  // indexed by RuleId
+  bool truncated_ = false;
 };
 
 }  // namespace yardstick::coverage

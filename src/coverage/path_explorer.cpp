@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/fault.hpp"
+
 namespace yardstick::coverage {
 
 using bdd::Uint128;
@@ -44,6 +46,14 @@ bool PathExplorer::emit(DfsState& state, const PacketSet& final_set, double rati
 bool PathExplorer::dfs(DfsState& state, net::DeviceId device,
                        net::InterfaceId in_interface, const PacketSet& flowing,
                        const PacketSet& survivors, double min_ratio, int depth) const {
+  if (fault::active()) fault::fire("path.dfs");
+  // Cooperative budget gate: a tripped deadline/cancel terminates the
+  // in-flight path as BudgetExceeded (distinguishable from DepthLimit) and
+  // unwinds the whole exploration.
+  if (options_.budget != nullptr && options_.budget->exhausted()) {
+    emit(state, flowing, min_ratio, PathEnd::BudgetExceeded);
+    return false;
+  }
   const net::Network& network = transfer_.network();
   bdd::BddManager& mgr = transfer_.index().manager();
   if (!network.has_acl(device)) {
@@ -183,6 +193,7 @@ uint64_t PathExplorer::explore_universe(
     state.visit = &visit;
     state.origin = net::to_location(intf.id);
     if (options_.max_paths != 0 && total >= options_.max_paths) break;
+    if (options_.budget != nullptr && options_.budget->exhausted()) break;
     Options remaining = options_;
     if (remaining.max_paths != 0) remaining.max_paths -= total;
     // Each ingress port gets its own DFS; the per-call budget shrinks as

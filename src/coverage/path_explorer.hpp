@@ -28,8 +28,11 @@
 
 namespace yardstick::coverage {
 
-/// How an explored path ended.
-enum class PathEnd : uint8_t { Delivered, Dropped, Unmatched, DepthLimit };
+/// How an explored path ended. BudgetExceeded marks a path cut short
+/// because a resource budget tripped mid-DFS — distinct from DepthLimit
+/// (structural bound reached) so degraded sweeps are recognizable in
+/// reports.
+enum class PathEnd : uint8_t { Delivered, Dropped, Unmatched, DepthLimit, BudgetExceeded };
 
 [[nodiscard]] inline const char* to_string(PathEnd e) {
   switch (e) {
@@ -37,8 +40,9 @@ enum class PathEnd : uint8_t { Delivered, Dropped, Unmatched, DepthLimit };
     case PathEnd::Dropped: return "dropped";
     case PathEnd::Unmatched: return "unmatched";
     case PathEnd::DepthLimit: return "depth-limit";
+    case PathEnd::BudgetExceeded: return "budget-exceeded";
   }
-  return "?";
+  return "invalid";
 }
 
 struct ExploredPath {
@@ -64,6 +68,12 @@ struct PathExplorerOptions {
   uint64_t max_paths = 0;
   /// Emit paths that end in a ruleless drop.
   bool include_unmatched = true;
+  /// Cooperative resource budget (non-owning, may be null). When the
+  /// deadline or cancel flag trips, the in-flight path is emitted with
+  /// PathEnd::BudgetExceeded and the DFS unwinds; the BDD node cap
+  /// additionally throws from inside set operations (callers catch and
+  /// flag the sweep truncated — see CoverageEngine::path_coverage).
+  const ys::ResourceBudget* budget = nullptr;
 };
 
 class PathExplorer {

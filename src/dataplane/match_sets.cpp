@@ -24,7 +24,8 @@ PacketSet MatchSetIndex::build_match_field(bdd::BddManager& mgr,
   return acc;
 }
 
-MatchSetIndex::MatchSetIndex(bdd::BddManager& mgr, const net::Network& network)
+MatchSetIndex::MatchSetIndex(bdd::BddManager& mgr, const net::Network& network,
+                             const ys::ResourceBudget* budget)
     : mgr_(mgr), network_(network) {
   const size_t num_rules = network.rule_count();
   match_fields_.resize(num_rules);
@@ -32,31 +33,55 @@ MatchSetIndex::MatchSetIndex(bdd::BddManager& mgr, const net::Network& network)
   matched_space_.resize(network.device_count());
   acl_permitted_.resize(network.device_count());
 
-  for (const net::Device& dev : network.devices()) {
-    for (const net::TableKind table : {net::TableKind::Acl, net::TableKind::Fib}) {
-      // Walk the ordered table, giving each rule the part of its match
-      // field not already claimed by an earlier rule.
-      PacketSet claimed = PacketSet::none(mgr);
-      PacketSet permitted = PacketSet::none(mgr);
-      for (const net::RuleId rid : network.table(dev.id, table)) {
-        const net::Rule& r = network.rule(rid);
-        PacketSet field = build_match_field(mgr, r.match);
-        PacketSet disjoint = field.minus(claimed);
-        claimed = claimed.union_with(field);
-        if (r.action.type == net::ActionType::Permit) {
-          permitted = permitted.union_with(disjoint);
+  try {
+    for (const net::Device& dev : network.devices()) {
+      if (budget != nullptr) budget->poll("match-set computation");
+      for (const net::TableKind table : {net::TableKind::Acl, net::TableKind::Fib}) {
+        // Walk the ordered table, giving each rule the part of its match
+        // field not already claimed by an earlier rule.
+        PacketSet claimed = PacketSet::none(mgr);
+        PacketSet permitted = PacketSet::none(mgr);
+        for (const net::RuleId rid : network.table(dev.id, table)) {
+          const net::Rule& r = network.rule(rid);
+          PacketSet field = build_match_field(mgr, r.match);
+          PacketSet disjoint = field.minus(claimed);
+          claimed = claimed.union_with(field);
+          if (r.action.type == net::ActionType::Permit) {
+            permitted = permitted.union_with(disjoint);
+          }
+          match_sets_[rid.value] = std::move(disjoint);
+          match_fields_[rid.value] = std::move(field);
         }
-        match_sets_[rid.value] = std::move(disjoint);
-        match_fields_[rid.value] = std::move(field);
+        if (table == net::TableKind::Fib) {
+          matched_space_[dev.id.value] = claimed;
+        } else {
+          // No ACL stage means everything is permitted (implicit deny only
+          // applies when an ACL exists).
+          acl_permitted_[dev.id.value] =
+              network.has_acl(dev.id) ? permitted : PacketSet::all(mgr);
+        }
       }
-      if (table == net::TableKind::Fib) {
-        matched_space_[dev.id.value] = claimed;
-      } else {
-        // No ACL stage means everything is permitted (implicit deny only
-        // applies when an ACL exists).
-        acl_permitted_[dev.id.value] =
-            network.has_acl(dev.id) ? permitted : PacketSet::all(mgr);
-      }
+    }
+  } catch (const ys::StatusError& e) {
+    if (!ys::is_resource_exhaustion(e.code())) throw;
+    truncated_ = true;
+  }
+
+  // Degraded completion: rules/devices never reached get well-formed empty
+  // sets (terminal-only — constructing them cannot trip the budget again),
+  // so every downstream query stays valid and merely under-reports.
+  if (truncated_) {
+    for (PacketSet& ps : match_fields_) {
+      if (!ps.valid()) ps = PacketSet::none(mgr);
+    }
+    for (PacketSet& ps : match_sets_) {
+      if (!ps.valid()) ps = PacketSet::none(mgr);
+    }
+    for (PacketSet& ps : matched_space_) {
+      if (!ps.valid()) ps = PacketSet::none(mgr);
+    }
+    for (PacketSet& ps : acl_permitted_) {
+      if (!ps.valid()) ps = PacketSet::none(mgr);
     }
   }
 }

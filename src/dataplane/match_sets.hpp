@@ -21,7 +21,17 @@ class MatchSetIndex {
  public:
   /// Computes match fields and disjoint match sets for every rule in the
   /// network. Cost is one linear walk per device table.
-  MatchSetIndex(bdd::BddManager& mgr, const net::Network& network);
+  ///
+  /// `budget` (non-owning, may be null) bounds the computation: when the
+  /// deadline, node cap or cancel flag trips mid-walk, the remaining rules
+  /// get empty match sets, truncated() flips to true, and construction
+  /// completes without throwing — partial results instead of a runaway.
+  MatchSetIndex(bdd::BddManager& mgr, const net::Network& network,
+                const ys::ResourceBudget* budget = nullptr);
+
+  /// True when a resource budget stopped the computation early; every
+  /// accessor below then under-reports for the rules never reached.
+  [[nodiscard]] bool truncated() const { return truncated_; }
 
   /// The raw match field of the rule (what the table entry says).
   [[nodiscard]] const packet::PacketSet& match_field(net::RuleId id) const {
@@ -68,6 +78,7 @@ class MatchSetIndex {
   std::vector<packet::PacketSet> match_sets_;    // indexed by RuleId
   std::vector<packet::PacketSet> matched_space_;  // indexed by DeviceId
   std::vector<packet::PacketSet> acl_permitted_;  // indexed by DeviceId
+  bool truncated_ = false;
 };
 
 }  // namespace yardstick::dataplane

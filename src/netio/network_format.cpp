@@ -6,14 +6,20 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/status.hpp"
+
 namespace yardstick::netio {
 
 namespace {
 
 using packet::Ipv4Prefix;
 
+// StatusError (a std::runtime_error) rather than InvalidInputError: the
+// network file is external input, and callers have always caught parse
+// failures as runtime errors. code() still says InvalidInput.
 [[noreturn]] void fail(size_t line, const std::string& why) {
-  throw std::runtime_error("network file, line " + std::to_string(line) + ": " + why);
+  throw ys::StatusError(ys::Error::InvalidInput, why,
+                        {.source = "network file", .line = line});
 }
 
 std::vector<std::string> tokenize(const std::string& line) {
@@ -351,17 +357,20 @@ std::string format_network(const net::Network& network,
 
 LoadedNetwork load_network_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path);
+  if (!in) throw ys::IoError("cannot open", {.source = path});
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  if (in.bad()) throw ys::IoError("read failed", {.source = path});
   return parse_network(buffer.str());
 }
 
 void save_network_file(const std::string& path, const net::Network& network,
                        const routing::RoutingConfig& routing) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  if (!out) throw ys::IoError("cannot open for writing", {.source = path});
   out << format_network(network, routing);
+  out.flush();
+  if (!out) throw ys::IoError("write failed", {.source = path});
 }
 
 }  // namespace yardstick::netio

@@ -5,12 +5,14 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/status.hpp"
+
 namespace yardstick::net {
 
 DeviceId Network::add_device(std::string name, Role role, uint32_t asn) {
   const DeviceId id{static_cast<uint32_t>(devices_.size())};
   if (device_by_name_.contains(name)) {
-    throw std::invalid_argument("duplicate device name: " + name);
+    throw ys::InvalidInputError("duplicate device name: " + name);
   }
   device_by_name_.emplace(name, id);
   Device d;
@@ -48,10 +50,10 @@ LinkId Network::add_link(InterfaceId a, InterfaceId b,
                          std::optional<packet::Ipv4Prefix> subnet) {
   assert(a.value < interfaces_.size() && b.value < interfaces_.size());
   if (interfaces_[a.value].peer.valid() || interfaces_[b.value].peer.valid()) {
-    throw std::invalid_argument("interface already linked");
+    throw ys::InvalidInputError("interface already linked");
   }
   if (subnet && subnet->length() != 31) {
-    throw std::invalid_argument("link subnets must be /31");
+    throw ys::InvalidInputError("link subnets must be /31");
   }
   const LinkId id{static_cast<uint32_t>(links_.size())};
   links_.push_back({id, a, b, subnet});
@@ -71,10 +73,10 @@ RuleId Network::add_rule(DeviceId device, MatchSpec match, Action action, RouteK
   assert(device.value < devices_.size());
   if (table == TableKind::Acl &&
       !(action.type == ActionType::Drop || action.type == ActionType::Permit)) {
-    throw std::invalid_argument("ACL rules must permit or deny");
+    throw ys::InvalidInputError("ACL rules must permit or deny");
   }
   if (table == TableKind::Fib && action.type == ActionType::Permit) {
-    throw std::invalid_argument("forwarding rules cannot 'permit'");
+    throw ys::InvalidInputError("forwarding rules cannot 'permit'");
   }
   const RuleId id{static_cast<uint32_t>(rules_.size())};
   Rule r;

@@ -8,6 +8,8 @@
 #include <string>
 #include <string_view>
 
+#include "common/status.hpp"
+
 namespace yardstick::packet {
 
 /// Render a host-order IPv4 address in dotted-quad form.
@@ -48,7 +50,7 @@ class Ipv4Prefix {
 
   /// @param addr host-order address; bits past `len` are cleared.
   Ipv4Prefix(uint32_t addr, uint8_t len) : len_(len) {
-    if (len > 32) throw std::invalid_argument("prefix length > 32");
+    if (len > 32) throw ys::InvalidInputError("prefix length > 32");
     addr_ = addr & mask();
   }
 
@@ -61,14 +63,14 @@ class Ipv4Prefix {
       addr_part = s.substr(0, slash);
       int parsed = 0;
       for (const char c : s.substr(slash + 1)) {
-        if (c < '0' || c > '9') throw std::invalid_argument("bad prefix length");
+        if (c < '0' || c > '9') throw ys::InvalidInputError("bad prefix length");
         parsed = parsed * 10 + (c - '0');
-        if (parsed > 32) throw std::invalid_argument("prefix length > 32");
+        if (parsed > 32) throw ys::InvalidInputError("prefix length > 32");
       }
       len = static_cast<uint8_t>(parsed);
     }
     const auto addr = parse_ipv4(addr_part);
-    if (!addr) throw std::invalid_argument("bad IPv4 address: " + std::string(s));
+    if (!addr) throw ys::InvalidInputError("bad IPv4 address: " + std::string(s));
     return {*addr, len};
   }
 
@@ -99,7 +101,7 @@ class Ipv4Prefix {
   /// The i-th child prefix of length `child_len` (for carving subnets).
   [[nodiscard]] Ipv4Prefix subnet(uint8_t child_len, uint32_t index) const {
     if (child_len < len_ || child_len > 32) {
-      throw std::invalid_argument("bad subnet length");
+      throw ys::InvalidInputError("bad subnet length");
     }
     const uint32_t stride_bits = 32u - child_len;
     return {addr_ | (index << stride_bits), child_len};

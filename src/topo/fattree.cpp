@@ -1,5 +1,7 @@
 #include "topo/fattree.hpp"
 
+#include "common/status.hpp"
+
 #include <stdexcept>
 #include <string>
 
@@ -15,7 +17,7 @@ using packet::Ipv4Prefix;
 
 FatTree make_fat_tree(const FatTreeParams& params) {
   const int k = params.k;
-  if (k < 2 || k % 2 != 0) throw std::invalid_argument("fat-tree k must be even, >= 2");
+  if (k < 2 || k % 2 != 0) throw ys::InvalidInputError("fat-tree k must be even, >= 2");
   const int half = k / 2;
 
   FatTree tree;

@@ -1,5 +1,7 @@
 #include "topo/regional.hpp"
 
+#include "common/status.hpp"
+
 #include <stdexcept>
 #include <string>
 
@@ -15,7 +17,7 @@ using net::Role;
 RegionalNetwork make_regional(const RegionalParams& p) {
   if (p.datacenters < 1 || p.pods_per_dc < 1 || p.tors_per_pod < 1 || p.aggs_per_pod < 1 ||
       p.spines_per_dc < 1 || p.hubs < 1 || p.wans < 1 || p.host_ports_per_tor < 1) {
-    throw std::invalid_argument("regional network parameters must be positive");
+    throw ys::InvalidInputError("regional network parameters must be positive");
   }
 
   RegionalNetwork region;

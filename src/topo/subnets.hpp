@@ -8,8 +8,7 @@
 //   wide-area space  100.64.0.0/10  (one /16 per allocation)
 #pragma once
 
-#include <stdexcept>
-
+#include "common/status.hpp"
 #include "packet/prefix.hpp"
 
 namespace yardstick::topo {
@@ -17,23 +16,29 @@ namespace yardstick::topo {
 class SubnetAllocator {
  public:
   [[nodiscard]] packet::Ipv4Prefix next_host_prefix() {
-    if (host_index_ >= (1u << 15)) throw std::runtime_error("host prefix space exhausted");
+    if (host_index_ >= (1u << 15)) {
+      throw ys::StatusError(ys::Error::InvalidInput, "host prefix space exhausted");
+    }
     return packet::Ipv4Prefix(0x0A000000u, 9).subnet(24, host_index_++);
   }
 
   [[nodiscard]] packet::Ipv4Prefix next_loopback() {
-    if (loopback_index_ >= (1u << 23)) throw std::runtime_error("loopback space exhausted");
+    if (loopback_index_ >= (1u << 23)) {
+      throw ys::StatusError(ys::Error::InvalidInput, "loopback space exhausted");
+    }
     return packet::Ipv4Prefix(0x0A800000u, 9).subnet(32, loopback_index_++);
   }
 
   [[nodiscard]] packet::Ipv4Prefix next_link_subnet() {
-    if (link_index_ >= (1u << 19)) throw std::runtime_error("link subnet space exhausted");
+    if (link_index_ >= (1u << 19)) {
+      throw ys::StatusError(ys::Error::InvalidInput, "link subnet space exhausted");
+    }
     return packet::Ipv4Prefix(0xAC100000u, 12).subnet(31, link_index_++);
   }
 
   [[nodiscard]] packet::Ipv4Prefix next_wide_area_prefix() {
     if (wide_area_index_ >= (1u << 6)) {
-      throw std::runtime_error("wide-area prefix space exhausted");
+      throw ys::StatusError(ys::Error::InvalidInput, "wide-area prefix space exhausted");
     }
     return packet::Ipv4Prefix(0x64400000u, 10).subnet(16, wide_area_index_++);
   }

@@ -6,13 +6,38 @@ namespace yardstick::ys {
 
 using coverage::ComponentSpec;
 
+namespace {
+
+/// Attaches the budget to the manager before any member computation runs
+/// (init-list ordering), so the node cap is enforced from the very first
+/// match-set BDD operation.
+const ResourceBudget* attach_budget(bdd::BddManager& mgr, const ResourceBudget* budget) {
+  if (budget != nullptr) mgr.set_budget(budget);
+  return budget;
+}
+
+}  // namespace
+
 CoverageEngine::CoverageEngine(bdd::BddManager& mgr, const net::Network& network,
-                               const coverage::CoverageTrace& trace)
+                               const coverage::CoverageTrace& trace,
+                               const ResourceBudget* budget)
     : network_(network),
-      index_(mgr, network),
+      budget_(attach_budget(mgr, budget)),
+      index_(mgr, network, budget),
       transfer_(index_),
-      covered_(index_, trace),
+      covered_(index_, trace, budget),
       factory_(transfer_) {}
+
+template <typename Fn>
+double CoverageEngine::degradable(bool* degraded, Fn&& fn) const {
+  try {
+    return fn();
+  } catch (const StatusError& e) {
+    if (!is_resource_exhaustion(e.code())) throw;
+    if (degraded != nullptr) *degraded = true;
+    return 0.0;
+  }
+}
 
 double CoverageEngine::rule_coverage(net::RuleId id) const {
   return coverage::component_coverage(covered_, factory_.rule(id));
@@ -64,24 +89,40 @@ double CoverageEngine::interfaces_coverage(const coverage::Aggregator& aggregate
 PathCoverageResult CoverageEngine::path_coverage(coverage::PathExplorerOptions options,
                                                  double deadline_seconds) const {
   PathCoverageResult result;
+  result.truncated = truncated();  // steps 1-2 already degraded: Eq. 3 inputs partial
+  if (options.budget == nullptr) options.budget = budget_;
   const coverage::PathExplorer explorer(transfer_, &covered_, options);
   const auto start = std::chrono::steady_clock::now();
-  const uint64_t emitted =
-      explorer.explore_universe([&](const coverage::ExploredPath& path) {
-        ++result.total_paths;
-        if (path.covered_ratio > 0.0) ++result.covered_paths;
-        result.mean += path.covered_ratio;
-        if (deadline_seconds > 0.0 && (result.total_paths & 0x3ff) == 0) {
-          const std::chrono::duration<double> elapsed =
-              std::chrono::steady_clock::now() - start;
-          if (elapsed.count() > deadline_seconds) {
-            result.truncated = true;
-            return false;
-          }
+  try {
+    explorer.explore_universe([&](const coverage::ExploredPath& path) {
+      ++result.total_paths;
+      if (path.covered_ratio > 0.0) ++result.covered_paths;
+      result.mean += path.covered_ratio;
+      // The explorer marks paths it had to cut short when the cooperative
+      // budget tripped mid-DFS.
+      if (path.end == coverage::PathEnd::BudgetExceeded) result.truncated = true;
+      if (deadline_seconds > 0.0 && (result.total_paths & 0x3ff) == 0) {
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        if (elapsed.count() > deadline_seconds) {
+          result.truncated = true;
+          return false;
         }
-        return true;
-      });
-  if (options.max_paths != 0 && emitted >= options.max_paths) result.truncated = true;
+      }
+      return true;
+    });
+  } catch (const StatusError& e) {
+    // The BDD node cap throws from inside set operations; everything
+    // emitted so far is a valid partial sweep.
+    if (!is_resource_exhaustion(e.code())) throw;
+    result.truncated = true;
+  }
+  if (options.max_paths != 0 && result.total_paths >= options.max_paths) {
+    result.truncated = true;
+  }
+  // A budget that tripped between paths (or before the first ingress) makes
+  // the explorer stop silently; the sweep is still partial.
+  if (options.budget != nullptr && options.budget->exhausted()) result.truncated = true;
   if (result.total_paths > 0) {
     result.fractional = static_cast<double>(result.covered_paths) /
                         static_cast<double>(result.total_paths);
@@ -117,53 +158,74 @@ std::vector<net::InterfaceId> CoverageEngine::untested_interfaces(
 }
 
 MetricRow CoverageEngine::metrics(const DeviceFilter& filter) const {
+  // Each of the four numbers degrades independently: a budget tripping
+  // mid-aggregation leaves that metric at its partial/zero value and flags
+  // the row instead of propagating an exception to the caller.
   MetricRow row;
-  row.device_fractional = devices_coverage(coverage::fractional_aggregator(), filter);
-  row.interface_fractional = interfaces_coverage(coverage::fractional_aggregator(), filter);
-  row.rule_fractional = rules_coverage(coverage::fractional_aggregator(), filter);
-  row.rule_weighted = rules_coverage(coverage::weighted_average_aggregator(), filter);
+  bool degraded = truncated();
+  row.device_fractional = degradable(
+      &degraded, [&] { return devices_coverage(coverage::fractional_aggregator(), filter); });
+  row.interface_fractional = degradable(&degraded, [&] {
+    return interfaces_coverage(coverage::fractional_aggregator(), filter);
+  });
+  row.rule_fractional = degradable(
+      &degraded, [&] { return rules_coverage(coverage::fractional_aggregator(), filter); });
+  row.rule_weighted = degradable(&degraded, [&] {
+    return rules_coverage(coverage::weighted_average_aggregator(), filter);
+  });
+  row.truncated = degraded;
   return row;
 }
 
 CoverageReport CoverageEngine::report() const {
   CoverageReport report;
+  report.truncated = truncated();
   const auto metrics_for = [&](const DeviceFilter& filter) { return metrics(filter); };
 
   report.overall = metrics_for(nullptr);
+  report.truncated = report.truncated || report.overall.truncated;
+  try {
 
-  // Per-role breakdown in hierarchy order, only for roles that exist.
-  for (const net::Role role :
-       {net::Role::ToR, net::Role::Aggregation, net::Role::Spine, net::Role::RegionalHub,
-        net::Role::Wan, net::Role::Other}) {
-    const std::vector<net::DeviceId> members = network_.devices_with_role(role);
-    if (members.empty()) continue;
-    RoleBreakdown row;
-    row.role = role;
-    row.device_count = members.size();
-    for (const net::DeviceId id : members) {
-      row.interface_count += network_.device(id).interfaces.size();
-      row.rule_count += network_.table(id, net::TableKind::Acl).size() +
-                        network_.table(id, net::TableKind::Fib).size();
+    // Per-role breakdown in hierarchy order, only for roles that exist.
+    for (const net::Role role :
+         {net::Role::ToR, net::Role::Aggregation, net::Role::Spine,
+          net::Role::RegionalHub, net::Role::Wan, net::Role::Other}) {
+      const std::vector<net::DeviceId> members = network_.devices_with_role(role);
+      if (members.empty()) continue;
+      RoleBreakdown row;
+      row.role = role;
+      row.device_count = members.size();
+      for (const net::DeviceId id : members) {
+        row.interface_count += network_.device(id).interfaces.size();
+        row.rule_count += network_.table(id, net::TableKind::Acl).size() +
+                          network_.table(id, net::TableKind::Fib).size();
+      }
+      row.metrics = metrics_for(role_filter(role));
+      report.truncated = report.truncated || row.metrics.truncated;
+      report.by_role.push_back(row);
     }
-    row.metrics = metrics_for(role_filter(role));
-    report.by_role.push_back(row);
-  }
 
-  // Gap analysis: untested rules grouped by provenance (§7.2).
-  std::map<net::RouteKind, RuleGap> gaps;
-  for (const net::Rule& rule : network_.rules()) {
-    if (index_.match_set(rule.id).empty()) continue;
-    RuleGap& gap = gaps[rule.kind];
-    gap.kind = rule.kind;
-    ++gap.total;
-    if (covered_.covered(rule.id).empty()) ++gap.untested;
-  }
-  for (const auto& [kind, gap] : gaps) report.gaps.push_back(gap);
+    // Gap analysis: untested rules grouped by provenance (§7.2).
+    std::map<net::RouteKind, RuleGap> gaps;
+    for (const net::Rule& rule : network_.rules()) {
+      if (index_.match_set(rule.id).empty()) continue;
+      RuleGap& gap = gaps[rule.kind];
+      gap.kind = rule.kind;
+      ++gap.total;
+      if (covered_.covered(rule.id).empty()) ++gap.untested;
+    }
+    for (const auto& [kind, gap] : gaps) report.gaps.push_back(gap);
 
-  for (const net::Device& dev : network_.devices()) {
-    if (device_coverage(dev.id) == 0.0) ++report.untested_device_count;
+    for (const net::Device& dev : network_.devices()) {
+      if (device_coverage(dev.id) == 0.0) ++report.untested_device_count;
+    }
+    report.untested_interface_count = untested_interfaces().size();
+  } catch (const StatusError& e) {
+    // A budget tripping mid-report leaves the rows computed so far in
+    // place; the flag tells readers the report is partial.
+    if (!is_resource_exhaustion(e.code())) throw;
+    report.truncated = true;
   }
-  report.untested_interface_count = untested_interfaces().size();
   return report;
 }
 

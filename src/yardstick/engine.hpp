@@ -37,15 +37,28 @@ struct PathCoverageResult {
   uint64_t covered_paths = 0;  // paths with non-zero Equation-(3) coverage
   double fractional = 0.0;     // covered_paths / total_paths
   double mean = 0.0;           // unweighted mean of per-path coverage
-  bool truncated = false;      // hit the max_paths budget
+  bool truncated = false;      // hit the max_paths / deadline / budget limit
 };
 
 class CoverageEngine {
  public:
   /// Runs steps 1 and 2 (match sets + covered sets) immediately; metric
   /// queries afterwards are step 3.
+  ///
+  /// `budget` (non-owning, may be null; must outlive the engine) bounds
+  /// both construction and later queries. A tripped budget never escapes
+  /// as an exception from the engine: construction completes with partial
+  /// match/covered sets and truncated() == true, and metric queries return
+  /// the values computed so far with their `truncated` flag set.
   CoverageEngine(bdd::BddManager& mgr, const net::Network& network,
-                 const coverage::CoverageTrace& trace);
+                 const coverage::CoverageTrace& trace,
+                 const ResourceBudget* budget = nullptr);
+
+  /// True when a resource budget degraded steps 1-2; all metrics are
+  /// lower bounds in that case.
+  [[nodiscard]] bool truncated() const {
+    return index_.truncated() || covered_.truncated();
+  }
 
   // --- Single-component metrics ---
   [[nodiscard]] double rule_coverage(net::RuleId id) const;
@@ -98,8 +111,13 @@ class CoverageEngine {
 
  private:
   [[nodiscard]] std::vector<net::DeviceId> filtered_devices(const DeviceFilter& filter) const;
+  /// Runs `fn()` under the engine's budget; a tripped budget sets
+  /// `*degraded` and leaves the fallback value in place of the result.
+  template <typename Fn>
+  [[nodiscard]] double degradable(bool* degraded, Fn&& fn) const;
 
   const net::Network& network_;
+  const ResourceBudget* budget_;
   dataplane::MatchSetIndex index_;
   dataplane::Transfer transfer_;
   coverage::CoveredSets covered_;

@@ -60,7 +60,8 @@ std::string report_to_json(const CoverageReport& report) {
         << ",\"total\":" << report.gaps[i].total << "}";
   }
   out << "],\"untested_devices\":" << report.untested_device_count
-      << ",\"untested_interfaces\":" << report.untested_interface_count << "}";
+      << ",\"untested_interfaces\":" << report.untested_interface_count
+      << ",\"truncated\":" << (report.truncated ? "true" : "false") << "}";
   return out.str();
 }
 

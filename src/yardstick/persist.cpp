@@ -1,11 +1,13 @@
 #include "yardstick/persist.hpp"
 
 #include <array>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 #include <unordered_map>
 #include <vector>
+
+#include "common/fault.hpp"
 
 namespace yardstick::ys {
 
@@ -16,6 +18,27 @@ using bdd::BddManager;
 using bdd::kFalse;
 using bdd::kTrue;
 using bdd::NodeIndex;
+
+using Detail = CorruptTraceError::Detail;
+
+constexpr const char* kHeaderV1 = "yardstick-trace v1";
+constexpr const char* kHeaderV2 = "yardstick-trace v2";
+
+/// FNV-1a 64 over a byte range; the v2 integrity trailer.
+uint64_t fnv1a(const char* data, size_t size) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string to_hex(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
 
 /// Assigns file-local references: 0/1 for terminals, >=2 for emitted nodes
 /// (reference n maps to the (n-2)-th emitted node line).
@@ -58,8 +81,71 @@ class NodeEmitter {
   std::unordered_map<NodeIndex, uint32_t> refs_;
 };
 
-[[noreturn]] void malformed(const std::string& why) {
-  throw std::runtime_error("malformed yardstick trace: " + why);
+[[noreturn]] void truncated(const std::string& why) {
+  throw CorruptTraceError(Detail::Truncated, why, {.source = "yardstick trace"});
+}
+
+[[noreturn]] void corrupted(const std::string& why) {
+  throw CorruptTraceError(Detail::Corrupted, why, {.source = "yardstick trace"});
+}
+
+/// Reads one unsigned token; distinguishes the stream running out
+/// (truncation) from a token that is not a number (corruption).
+uint64_t read_u64(std::istream& in, const char* what) {
+  uint64_t value = 0;
+  if (!(in >> value)) {
+    if (in.eof()) truncated(std::string("input ends inside ") + what);
+    corrupted(std::string("non-numeric value in ") + what);
+  }
+  return value;
+}
+
+uint32_t read_u32(std::istream& in, const char* what) {
+  const uint64_t v = read_u64(in, what);
+  if (v > UINT32_MAX) corrupted(std::string("value out of 32-bit range in ") + what);
+  return static_cast<uint32_t>(v);
+}
+
+/// Section counts must be plausible against the input size, or a flipped
+/// bit in a count field would drive reserve() into a memory bomb before a
+/// single element is read. Two bytes per element ("0 " etc.) is the
+/// tightest possible encoding.
+size_t read_count(std::istream& in, const char* what, size_t input_size) {
+  const uint64_t count = read_u64(in, what);
+  if (count > input_size / 2 + 1) {
+    corrupted(std::string("implausible ") + what + " count " + std::to_string(count));
+  }
+  return static_cast<size_t>(count);
+}
+
+void expect_keyword(std::istream& in, const char* keyword) {
+  std::string word;
+  if (!(in >> word)) truncated(std::string("missing '") + keyword + "' section");
+  if (word != keyword) {
+    corrupted("expected '" + std::string(keyword) + "' section, found '" + word + "'");
+  }
+}
+
+std::string body_for_version(const std::string& text, bool v2) {
+  if (!v2) return text;
+  // v2 integrity trailer: "checksum <16-hex>" over every preceding byte.
+  const size_t pos = text.rfind("\nchecksum ");
+  if (pos == std::string::npos) {
+    truncated("missing checksum trailer (file cut off before the end)");
+  }
+  const size_t covered = pos + 1;  // includes the newline before "checksum"
+  std::istringstream trailer(text.substr(covered));
+  std::string keyword, hex;
+  trailer >> keyword >> hex;
+  if (hex.size() != 16 || hex.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    corrupted("malformed checksum trailer '" + hex + "'");
+  }
+  std::string rest;
+  if (trailer >> rest) corrupted("trailing garbage after checksum trailer");
+  if (to_hex(fnv1a(text.data(), covered)) != hex) {
+    corrupted("checksum mismatch (content was altered after writing)");
+  }
+  return text.substr(0, covered);
 }
 
 }  // namespace
@@ -73,7 +159,7 @@ std::string serialize_trace(const coverage::CoverageTrace& trace, BddManager& mg
   }
 
   std::ostringstream out;
-  out << "yardstick-trace v1\n";
+  out << kHeaderV2 << "\n";
   out << "nodes " << nodes.size() << "\n";
   for (const auto& [var, low, high] : nodes) {
     out << var << " " << low << " " << high << "\n";
@@ -82,67 +168,120 @@ std::string serialize_trace(const coverage::CoverageTrace& trace, BddManager& mg
   for (const net::RuleId rid : trace.marked_rules()) out << rid.value << "\n";
   out << "locations " << roots.size() << "\n";
   for (const auto& [loc, root] : roots) out << loc << " " << root << "\n";
-  return out.str();
+
+  std::string body = out.str();
+  body += "checksum " + to_hex(fnv1a(body.data(), body.size())) + "\n";
+  return body;
 }
 
 coverage::CoverageTrace deserialize_trace(const std::string& text, BddManager& mgr) {
-  std::istringstream in(text);
-  std::string line;
-  if (!std::getline(in, line) || line != "yardstick-trace v1") {
-    malformed("bad header");
-  }
-  std::string keyword;
-  size_t count = 0;
+  std::istringstream header_in(text);
+  std::string header;
+  if (!std::getline(header_in, header)) truncated("empty input");
+  const bool v2 = header == kHeaderV2;
+  if (!v2 && header != kHeaderV1) corrupted("unrecognized header '" + header + "'");
 
-  if (!(in >> keyword >> count) || keyword != "nodes") malformed("missing nodes section");
+  const std::string body = body_for_version(text, v2);
+  std::istringstream in(body);
+  std::getline(in, header);  // skip the (validated) header line
+
+  expect_keyword(in, "nodes");
+  const size_t node_count = read_count(in, "node", body.size());
   std::vector<NodeIndex> by_ref;  // file ref -> manager node index
-  by_ref.reserve(count + 2);
+  by_ref.reserve(node_count + 2);
   by_ref.push_back(kFalse);
   by_ref.push_back(kTrue);
-  for (size_t i = 0; i < count; ++i) {
-    uint32_t var = 0, low = 0, high = 0;
-    if (!(in >> var >> low >> high)) malformed("truncated node list");
-    if (var >= mgr.num_vars()) malformed("variable out of range");
+  for (size_t i = 0; i < node_count; ++i) {
+    const uint32_t var = read_u32(in, "node list");
+    const uint32_t low = read_u32(in, "node list");
+    const uint32_t high = read_u32(in, "node list");
+    if (var >= mgr.num_vars()) {
+      corrupted("node variable " + std::to_string(var) + " out of range");
+    }
     if (low >= by_ref.size() || high >= by_ref.size()) {
-      malformed("forward node reference");
+      // References may only point backwards; anything else could knit
+      // cycles or dangling structure into the arena.
+      corrupted("forward/out-of-range node reference at node " + std::to_string(i));
+    }
+    // A well-formed ROBDD is strictly ordered: children sit at deeper
+    // levels than their parent. Violations would produce non-canonical
+    // diagrams whose model counts are silently wrong — reject them.
+    const auto level = [&](NodeIndex n) {
+      return n <= kTrue ? mgr.num_vars() : mgr.node(n).var;
+    };
+    if (var >= level(by_ref[low]) || var >= level(by_ref[high])) {
+      corrupted("variable-ordering violation at node " + std::to_string(i));
     }
     by_ref.push_back(mgr.make(var, by_ref[low], by_ref[high]));
   }
 
   coverage::CoverageTrace trace;
-  if (!(in >> keyword >> count) || keyword != "rules") malformed("missing rules section");
-  for (size_t i = 0; i < count; ++i) {
-    uint32_t rid = 0;
-    if (!(in >> rid)) malformed("truncated rule list");
-    trace.mark_rule(net::RuleId{rid});
+  expect_keyword(in, "rules");
+  const size_t rule_count = read_count(in, "rule", body.size());
+  for (size_t i = 0; i < rule_count; ++i) {
+    trace.mark_rule(net::RuleId{read_u32(in, "rule list")});
   }
 
-  if (!(in >> keyword >> count) || keyword != "locations") {
-    malformed("missing locations section");
-  }
-  for (size_t i = 0; i < count; ++i) {
-    packet::LocationId loc = 0;
-    uint32_t root = 0;
-    if (!(in >> loc >> root)) malformed("truncated location list");
-    if (root >= by_ref.size()) malformed("bad root reference");
+  expect_keyword(in, "locations");
+  const size_t location_count = read_count(in, "location", body.size());
+  for (size_t i = 0; i < location_count; ++i) {
+    const auto loc = static_cast<packet::LocationId>(read_u64(in, "location list"));
+    const uint32_t root = read_u32(in, "location list");
+    if (root >= by_ref.size()) {
+      corrupted("location root reference " + std::to_string(root) + " out of range");
+    }
     trace.mark_packet(loc, packet::PacketSet(Bdd(&mgr, by_ref[root])));
+  }
+
+  if (v2) {
+    std::string extra;
+    if (in >> extra) corrupted("trailing garbage after locations section");
   }
   return trace;
 }
 
 void save_trace(const std::string& path, const coverage::CoverageTrace& trace,
                 BddManager& mgr) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
-  out << serialize_trace(trace, mgr);
+  // Serialize before touching the filesystem: an exhausted budget or a
+  // bad trace must not cost us the temp file dance.
+  const std::string content = serialize_trace(trace, mgr);
+
+  // Crash-safe commit: write + flush a sibling temp file, then rename it
+  // over the destination. rename(2) is atomic within a filesystem, so
+  // `path` either keeps its old content or holds the complete new trace.
+  const std::string tmp = path + ".tmp";
+  try {
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) throw IoError("cannot open for writing", {.source = tmp});
+      out << content;
+      if (fault::active()) fault::fire("persist.save.write");
+      out.flush();
+      if (!out) throw IoError("write failed", {.source = tmp});
+    }
+    if (fault::active()) fault::fire("persist.save.commit");
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("cannot rename temp file into place", {.source = path});
+  }
 }
 
 coverage::CoverageTrace load_trace(const std::string& path, BddManager& mgr) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open", {.source = path});
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return deserialize_trace(buffer.str(), mgr);
+  if (in.bad()) throw IoError("read failed", {.source = path});
+  try {
+    return deserialize_trace(buffer.str(), mgr);
+  } catch (const CorruptTraceError& e) {
+    // Re-raise with the file path as the input source.
+    throw CorruptTraceError(e.detail(), e.bare_message(), {.source = path});
+  }
 }
 
 }  // namespace yardstick::ys

@@ -7,35 +7,55 @@
 // portable text format so phase 2 can run in a different process, later,
 // or on archived snapshots.
 //
-// Format (line-oriented, self-describing):
-//   yardstick-trace v1
+// Because the artifact is archived and reloaded, the reader trusts
+// nothing: every node reference, variable index and section count is
+// validated, and v2 files carry an FNV-1a checksum trailer. Validation
+// failures raise CorruptTraceError, whose Detail distinguishes an input
+// that ran out (partial write, interrupted transfer) from one whose bytes
+// are wrong (bit rot, tampering). save_trace() writes atomically (temp
+// file + rename) so a crash mid-write never leaves a partial file at the
+// destination path.
+//
+// Format v2 (line-oriented, self-describing):
+//   yardstick-trace v2
 //   nodes <k>            # shared BDD node list, children before parents
 //   <var> <low> <high>   # refs: 0/1 = terminals, n>=2 = line (n-2)
 //   rules <n>
 //   <rule-id> ...
 //   locations <m>
 //   <location-id> <root-ref> ...
+//   checksum <16-hex>    # FNV-1a 64 over every preceding byte
+// v1 files (no checksum trailer) are still read for compatibility with
+// traces archived before the trailer existed.
 #pragma once
 
 #include <string>
 
+#include "common/status.hpp"
 #include "coverage/trace.hpp"
 
 namespace yardstick::ys {
 
-/// Serialize a trace. `mgr` must be the manager that owns the trace's
-/// packet sets.
+/// Serialize a trace (v2, checksummed). `mgr` must be the manager that
+/// owns the trace's packet sets.
 [[nodiscard]] std::string serialize_trace(const coverage::CoverageTrace& trace,
                                           bdd::BddManager& mgr);
 
 /// Rebuild a trace inside `mgr` (any manager with the same variable
-/// count). Throws std::runtime_error on malformed input.
+/// count). Reads v1 and v2. Throws CorruptTraceError (a StatusError, code
+/// Error::CorruptTrace) on malformed input.
 [[nodiscard]] coverage::CoverageTrace deserialize_trace(const std::string& text,
                                                         bdd::BddManager& mgr);
 
-/// Convenience file wrappers.
+/// Atomically persist a trace: the content is written to `path + ".tmp"`
+/// and renamed over `path` only once fully flushed, so `path` either keeps
+/// its previous content or holds the complete new trace — never a torn
+/// write. Throws IoError on failure (the temp file is cleaned up).
 void save_trace(const std::string& path, const coverage::CoverageTrace& trace,
                 bdd::BddManager& mgr);
+
+/// Load and validate a persisted trace. Throws IoError if the file cannot
+/// be read and CorruptTraceError if its content fails validation.
 [[nodiscard]] coverage::CoverageTrace load_trace(const std::string& path,
                                                  bdd::BddManager& mgr);
 

@@ -19,7 +19,9 @@ void print_row(std::ostringstream& out, const std::string& label, size_t devices
 
 std::string CoverageReport::to_text() const {
   std::ostringstream out;
-  out << "coverage report\n";
+  out << "coverage report";
+  if (truncated) out << " [TRUNCATED: resource budget exhausted; results are partial]";
+  out << "\n";
   out << "  " << std::left << std::setw(14) << "role" << std::right << std::setw(8)
       << "devices" << std::setw(11) << "device(f)" << std::setw(11) << "iface(f)"
       << std::setw(11) << "rule(f)" << std::setw(11) << "rule(w)" << "\n";

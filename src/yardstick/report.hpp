@@ -18,6 +18,9 @@ struct MetricRow {
   double interface_fractional = 0.0;
   double rule_fractional = 0.0;
   double rule_weighted = 0.0;
+  /// True when a resource budget degraded the computation; the numbers
+  /// above are then lower bounds, not exact values.
+  bool truncated = false;
 };
 
 struct RoleBreakdown {
@@ -41,6 +44,9 @@ struct CoverageReport {
   std::vector<RuleGap> gaps;
   size_t untested_device_count = 0;
   size_t untested_interface_count = 0;
+  /// True when any part of the report was computed under a tripped
+  /// resource budget: every number is a lower bound.
+  bool truncated = false;
 
   /// Render the report as a fixed-width text table (the CLI view).
   [[nodiscard]] std::string to_text() const;

@@ -104,11 +104,54 @@ TEST(CliTest, NetworkFileMode) {
   const CommandResult r = run_cli("file " + net_file + " --suite original");
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("devices=2"), std::string::npos);
+  // A malformed network file maps to the invalid-input exit code.
+  {
+    std::ofstream out(net_file);
+    out << "network v1\ndevice tor role sprocket\n";
+  }
+  const CommandResult malformed = run_cli("file " + net_file);
+  EXPECT_EQ(malformed.exit_code, 3);
+  EXPECT_NE(malformed.output.find("unknown role"), std::string::npos);
   std::remove(net_file.c_str());
-  // Missing file is a clean usage-style error, not a crash.
+  // Missing file is a clean I/O error exit, not a crash.
   const CommandResult missing = run_cli("file /nonexistent.net");
-  EXPECT_EQ(missing.exit_code, 2);
+  EXPECT_EQ(missing.exit_code, 5);
   EXPECT_NE(missing.output.find("error"), std::string::npos);
+}
+
+TEST(CliTest, CorruptTraceMapsToItsExitCode) {
+  REQUIRE_CLI();
+  const std::string trace = ::testing::TempDir() + "/cli_corrupt.trace";
+  {
+    std::ofstream out(trace);
+    out << "yardstick-trace v2\nnodes 0\nrules 0\nlocations 0\nchecksum feedfacefeedface\n";
+  }
+  const CommandResult r = run_cli("fattree --k 4 --load-trace " + trace);
+  EXPECT_EQ(r.exit_code, 4) << r.output;
+  EXPECT_NE(r.output.find("corrupt-trace"), std::string::npos);
+  std::remove(trace.c_str());
+}
+
+TEST(CliTest, BudgetFlagsProduceTruncatedPartialResults) {
+  REQUIRE_CLI();
+  // Offline phase (--load-trace) under a tiny node cap: metric computation
+  // cannot stop the run — it degrades to a truncated report, exit 0.
+  const std::string trace = ::testing::TempDir() + "/cli_budget.trace";
+  ASSERT_EQ(run_cli("fattree --k 4 --suite original --save-trace " + trace).exit_code, 0);
+  const CommandResult r =
+      run_cli("fattree --k 4 --load-trace " + trace + " --max-bdd-nodes 64");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("TRUNCATED"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("budget exhausted"), std::string::npos);
+  // JSON output carries the machine-readable flag.
+  const CommandResult js = run_cli("fattree --k 4 --load-trace " + trace +
+                                   " --max-bdd-nodes 64 --json");
+  EXPECT_EQ(js.exit_code, 0) << js.output;
+  EXPECT_NE(js.output.find("\"truncated\":true"), std::string::npos) << js.output;
+  std::remove(trace.c_str());
+  // Bad budget values are usage errors.
+  EXPECT_EQ(run_cli("fattree --deadline 0").exit_code, 2);
+  EXPECT_EQ(run_cli("fattree --max-bdd-nodes -3").exit_code, 2);
 }
 
 TEST(CliTest, AnalyzeAndSuggestFlags) {

@@ -1,0 +1,52 @@
+// RAII harness over the fault-injection registry (src/common/fault.hpp).
+//
+// A test arms a named failure point for the duration of one scope:
+//
+//   ScopedFault boom("persist.save.commit", throw_io("disk full"));
+//   EXPECT_THROW(save_trace(path, trace, mgr), IoError);
+//
+// The destructor disarms everything, so a throwing test body cannot leak
+// an armed fault into the next test.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/budget.hpp"
+#include "common/fault.hpp"
+#include "common/status.hpp"
+
+namespace yardstick::testutil {
+
+/// Arms `point` so its `nth` crossing (1 = next) runs `action`; disarms the
+/// whole registry on scope exit.
+class ScopedFault {
+ public:
+  ScopedFault(const std::string& point, std::function<void()> action, uint64_t nth = 1) {
+    fault::arm(point, nth, std::move(action));
+  }
+  ~ScopedFault() { fault::reset(); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+};
+
+/// Action: simulate the OS refusing an I/O operation.
+inline std::function<void()> throw_io(std::string message) {
+  return [message = std::move(message)] { throw ys::IoError(message); };
+}
+
+/// Action: simulate a tripped resource budget at the fault site.
+inline std::function<void()> trip_budget(std::string description) {
+  return [description = std::move(description)] {
+    throw ys::BudgetExceededError(description);
+  };
+}
+
+/// Action: raise a budget's cooperative cancel flag, as another thread
+/// would; the *next* poll of the budget observes it.
+inline std::function<void()> cancel(ys::ResourceBudget& budget) {
+  return [&budget] { budget.request_cancel(); };
+}
+
+}  // namespace yardstick::testutil

@@ -1,0 +1,203 @@
+// Resilience tests: resource budgets degrade gracefully (truncated
+// results, never crashes or hangs), and the fault-injection harness can
+// provoke failures at precise internal moments.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/budget.hpp"
+#include "dataplane/match_sets.hpp"
+#include "fault_injection.hpp"
+#include "test_util.hpp"
+#include "yardstick/engine.hpp"
+#include "yardstick/json.hpp"
+#include "yardstick/persist.hpp"
+
+namespace yardstick::ys {
+namespace {
+
+using packet::Ipv4Prefix;
+using packet::PacketSet;
+using testutil::make_tiny;
+using testutil::ScopedFault;
+using testutil::TinyNetwork;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool exists(const std::string& path) { return std::ifstream(path).good(); }
+
+class ResilienceTest : public ::testing::Test {
+ protected:
+  ResilienceTest() : tiny_(make_tiny()) {}
+  ~ResilienceTest() override { fault::reset(); }
+
+  bdd::BddManager mgr_{packet::kNumHeaderBits};
+  TinyNetwork tiny_;
+  coverage::CoverageTrace trace_;
+};
+
+// --- resource budgets: graceful degradation ---
+
+TEST_F(ResilienceTest, UnbudgetedEngineIsNotTruncated) {
+  const CoverageEngine engine(mgr_, tiny_.net, trace_);
+  EXPECT_FALSE(engine.truncated());
+  EXPECT_FALSE(engine.metrics().truncated);
+  EXPECT_FALSE(engine.report().truncated);
+}
+
+TEST_F(ResilienceTest, NodeBudgetTripReturnsTruncatedResults) {
+  // A cap far below what the tiny network's match sets need: construction
+  // must complete (no throw, no hang) and every downstream artifact must
+  // carry the truncated flag.
+  ResourceBudget budget;
+  budget.with_max_bdd_nodes(64);
+  const CoverageEngine engine(mgr_, tiny_.net, trace_, &budget);
+  EXPECT_TRUE(engine.truncated());
+
+  const MetricRow row = engine.metrics();
+  EXPECT_TRUE(row.truncated);
+
+  const CoverageReport report = engine.report();
+  EXPECT_TRUE(report.truncated);
+  EXPECT_NE(report.to_text().find("TRUNCATED"), std::string::npos);
+  EXPECT_NE(report_to_json(report).find("\"truncated\":true"), std::string::npos);
+
+  const PathCoverageResult paths = engine.path_coverage();
+  EXPECT_TRUE(paths.truncated);
+}
+
+TEST_F(ResilienceTest, PreCancelledBudgetDegradesConstruction) {
+  ResourceBudget budget;
+  budget.request_cancel();
+  const CoverageEngine engine(mgr_, tiny_.net, trace_, &budget);
+  EXPECT_TRUE(engine.truncated());
+  EXPECT_TRUE(engine.report().truncated);
+}
+
+TEST_F(ResilienceTest, TruncatedMetricsStayWellFormed) {
+  // Degraded metrics are still numbers in [0, 1] — never NaN, never an
+  // exception — and the truncated flag (not the values) is the signal that
+  // they cannot be trusted. (Rule marks only: they are manager-independent.)
+  trace_.mark_rule(tiny_.l1_to_p2);
+  trace_.mark_rule(tiny_.sp_to_p2);
+  ResourceBudget budget;
+  budget.with_max_bdd_nodes(64);
+  const CoverageEngine degraded(mgr_, tiny_.net, trace_, &budget);
+  const MetricRow partial = degraded.metrics();
+  EXPECT_TRUE(partial.truncated);
+  for (const double v : {partial.device_fractional, partial.interface_fractional,
+                         partial.rule_fractional, partial.rule_weighted}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+// --- fault injection: budget trips at precise internal moments ---
+
+TEST_F(ResilienceTest, BudgetTripAtNthBddAllocationDegradesMatchSets) {
+  const ScopedFault boom("bdd.make", testutil::trip_budget("injected bdd-nodes cap"),
+                         /*nth=*/50);
+  const dataplane::MatchSetIndex index(mgr_, tiny_.net);
+  EXPECT_TRUE(index.truncated());
+}
+
+TEST_F(ResilienceTest, CancelAtNthDfsStepTruncatesPathSweep) {
+  const CoverageEngine engine(mgr_, tiny_.net, trace_);
+  ResourceBudget budget;
+  const ScopedFault boom("path.dfs", testutil::cancel(budget), /*nth=*/2);
+  coverage::PathExplorerOptions options;
+  options.budget = &budget;
+  const PathCoverageResult result = engine.path_coverage(options);
+  EXPECT_TRUE(result.truncated);
+}
+
+TEST_F(ResilienceTest, PreExpiredDeadlineTruncatesPathSweep) {
+  const CoverageEngine engine(mgr_, tiny_.net, trace_);
+  ResourceBudget budget;
+  budget.with_deadline(0.0);
+  coverage::PathExplorerOptions options;
+  options.budget = &budget;
+  const PathCoverageResult result = engine.path_coverage(options);
+  EXPECT_TRUE(result.truncated);
+}
+
+TEST_F(ResilienceTest, BudgetExceededPathEndIsDistinct) {
+  EXPECT_STREQ(to_string(coverage::PathEnd::BudgetExceeded), "budget-exceeded");
+  EXPECT_STREQ(to_string(static_cast<coverage::PathEnd>(250)), "invalid");
+}
+
+// --- crash-safe persistence ---
+
+TEST_F(ResilienceTest, InterruptedSaveNeverLeavesPartialFile) {
+  trace_.mark_packet(net::to_location(tiny_.l1_host),
+                     PacketSet::dst_prefix(mgr_, tiny_.p1));
+  const std::string path = ::testing::TempDir() + "/resilience_commit.trace";
+  save_trace(path, trace_, mgr_);
+  const std::string committed = slurp(path);
+  ASSERT_FALSE(committed.empty());
+
+  // Crash between flush and rename: the destination keeps its previous
+  // content and the temp file is cleaned up.
+  coverage::CoverageTrace bigger = trace_;
+  bigger.mark_rule(tiny_.sp_to_p1);
+  {
+    const ScopedFault boom("persist.save.commit", testutil::throw_io("injected crash"));
+    EXPECT_THROW(save_trace(path, bigger, mgr_), IoError);
+  }
+  EXPECT_EQ(slurp(path), committed);
+  EXPECT_FALSE(exists(path + ".tmp"));
+
+  // The retry (fault disarmed) succeeds and the new content is complete.
+  save_trace(path, bigger, mgr_);
+  bdd::BddManager mgr2(packet::kNumHeaderBits);
+  EXPECT_EQ(load_trace(path, mgr2).marked_rules().size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(ResilienceTest, InterruptedWriteLeavesNoFileAtFreshDestination) {
+  const std::string path = ::testing::TempDir() + "/resilience_fresh.trace";
+  std::remove(path.c_str());
+  {
+    const ScopedFault boom("persist.save.write", testutil::throw_io("injected disk full"));
+    EXPECT_THROW(save_trace(path, trace_, mgr_), IoError);
+  }
+  EXPECT_FALSE(exists(path));
+  EXPECT_FALSE(exists(path + ".tmp"));
+}
+
+// --- taxonomy plumbing ---
+
+TEST_F(ResilienceTest, ErrorCodesRoundTripThroughCatch) {
+  try {
+    throw BudgetExceededError("bdd-nodes 64");
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), Error::BudgetExceeded);
+    EXPECT_EQ(e.context().budget, "bdd-nodes 64");
+    EXPECT_TRUE(is_resource_exhaustion(e.code()));
+  }
+  try {
+    throw InvalidInputError("bad k", {.source = "cli"});
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bad k"), std::string::npos);
+  }
+  EXPECT_FALSE(is_resource_exhaustion(Error::CorruptTrace));
+  EXPECT_FALSE(is_resource_exhaustion(Error::IoError));
+}
+
+TEST_F(ResilienceTest, FaultCountdownFiresExactlyOnce) {
+  int fired = 0;
+  fault::arm("unit.count", 3, [&] { ++fired; });
+  for (int i = 0; i < 10; ++i) fault::fire("unit.count");
+  EXPECT_EQ(fired, 1);  // fires on the 3rd crossing, then disarms
+  fault::reset();
+}
+
+}  // namespace
+}  // namespace yardstick::ys

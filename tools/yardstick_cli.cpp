@@ -9,13 +9,20 @@
 //   yardstick regional --suite final --acl --save-trace trace.txt
 //   yardstick regional --load-trace trace.txt
 //
-// Exit code: 0 when all tests pass, 1 on test failures, 2 on usage errors.
+// Exit codes map the error taxonomy so scripts can dispatch on failures:
+//   0 all tests passed          4 corrupt trace file
+//   1 test failures             5 I/O error
+//   2 usage error               6 resource budget exceeded
+//   3 invalid input             7 cancelled
+//                              10 internal error
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <optional>
 #include <string>
 
+#include "common/budget.hpp"
+#include "common/status.hpp"
 #include "netio/network_format.hpp"
 #include "nettest/acl_checks.hpp"
 #include "nettest/contract_checks.hpp"
@@ -48,6 +55,8 @@ struct CliOptions {
   size_t suggest = 0;
   std::optional<std::string> save_trace;
   std::optional<std::string> load_trace;
+  double deadline_s = 0.0;       // 0 = unlimited
+  size_t max_bdd_nodes = 0;      // 0 = unlimited
 };
 
 int usage(const char* argv0) {
@@ -64,7 +73,9 @@ int usage(const char* argv0) {
                "  --analyze            per-test contributions + redundancy\n"
                "  --suggest N          synthesize probes for N untested rules\n"
                "  --save-trace FILE    persist the coverage trace\n"
-               "  --load-trace FILE    skip testing; compute metrics from FILE\n",
+               "  --load-trace FILE    skip testing; compute metrics from FILE\n"
+               "  --deadline SECONDS   overall wall-clock budget (partial results)\n"
+               "  --max-bdd-nodes N    cap BDD arena size (partial results)\n",
                argv0);
   return 2;
 }
@@ -121,6 +132,14 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     } else if (arg == "--load-trace") {
       if (i + 1 >= argc) return std::nullopt;
       opts.load_trace = argv[++i];
+    } else if (arg == "--deadline") {
+      if (i + 1 >= argc) return std::nullopt;
+      opts.deadline_s = std::atof(argv[++i]);
+      if (opts.deadline_s <= 0.0) return std::nullopt;
+    } else if (arg == "--max-bdd-nodes") {
+      int n = 0;
+      if (!next_int(n)) return std::nullopt;
+      opts.max_bdd_nodes = static_cast<size_t>(n);
     } else {
       return std::nullopt;
     }
@@ -154,12 +173,19 @@ nettest::TestSuite build_suite(const CliOptions& opts,
   return suite;
 }
 
-}  // namespace
+/// Maps the error taxonomy onto the documented exit codes.
+int exit_code_for(ys::Error code) {
+  switch (code) {
+    case ys::Error::InvalidInput: return 3;
+    case ys::Error::CorruptTrace: return 4;
+    case ys::Error::IoError: return 5;
+    case ys::Error::BudgetExceeded: return 6;
+    case ys::Error::Cancelled: return 7;
+    default: return 10;
+  }
+}
 
-int main(int argc, char** argv) {
-  const std::optional<CliOptions> parsed = parse(argc, argv);
-  if (!parsed) return usage(argv[0]);
-  const CliOptions& opts = *parsed;
+int run(const CliOptions& opts) {
 
   // Build topology + forwarding state.
   net::Network* network = nullptr;
@@ -180,12 +206,7 @@ int main(int argc, char** argv) {
     routing = &regional.routing;
     tors = regional.tors;
   } else {
-    try {
-      from_file = netio::load_network_file(opts.network_file);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "error: %s\n", e.what());
-      return 2;
-    }
+    from_file = netio::load_network_file(opts.network_file);
     network = &from_file.network;
     routing = &from_file.routing;
     tors = network->devices_with_role(net::Role::ToR);
@@ -198,6 +219,10 @@ int main(int argc, char** argv) {
   if (!opts.json) std::printf("%s\n", network->summary().c_str());
 
   bdd::BddManager mgr(packet::kNumHeaderBits);
+  ys::ResourceBudget budget;
+  if (opts.deadline_s > 0.0) budget.with_deadline(opts.deadline_s);
+  if (opts.max_bdd_nodes > 0) budget.with_max_bdd_nodes(opts.max_bdd_nodes);
+  const bool budgeted = opts.deadline_s > 0.0 || opts.max_bdd_nodes > 0;
   ys::CoverageTracker tracker;
   size_t failures = 0;
 
@@ -234,8 +259,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  const ys::CoverageEngine engine(mgr, *network, tracker.trace());
+  const ys::CoverageEngine engine(mgr, *network, tracker.trace(),
+                                  budgeted ? &budget : nullptr);
   const ys::CoverageReport report = engine.report();
+  if (report.truncated && !opts.json) {
+    std::fprintf(stderr, "warning: budget exhausted; coverage results are partial\n");
+  }
   if (opts.json) {
     if (opts.load_trace) std::printf("{");
     std::printf("\"coverage\":%s", ys::report_to_json(report).c_str());
@@ -272,4 +301,23 @@ int main(int argc, char** argv) {
     if (!opts.json) std::printf("trace saved to %s\n", opts.save_trace->c_str());
   }
   return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<CliOptions> parsed = parse(argc, argv);
+  if (!parsed) return usage(argv[0]);
+  try {
+    return run(*parsed);
+  } catch (const ys::StatusError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return exit_code_for(e.code());
+  } catch (const ys::InvalidInputError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return exit_code_for(e.code());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 10;
+  }
 }
