@@ -12,6 +12,7 @@
 // default 60s) on larger topologies.
 #include <cstdio>
 #include <memory>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "nettest/contract_checks.hpp"
@@ -88,6 +89,88 @@ int main() {
     std::printf("%6d %8zu %12.3f %12.3f %12.3f %12.3f %14.3f %16s\n", k,
                 tree.network.device_count(), device_s, iface_s, rule_s, all_local_s,
                 path_s, path_note);
+  }
+
+  // Tentpole comparison: the offline phase (match sets + covered sets +
+  // local metrics, and the path-universe sweep) serial vs parallel. Each
+  // measurement runs in a fresh BDD manager with the trace structurally
+  // imported in, so neither mode benefits from another run's warm caches;
+  // "identical" checks the two modes' outputs bit-for-bit (n/a when the
+  // path budget truncated either sweep — truncation points are timing-
+  // dependent by design).
+  {
+    const unsigned threads = benchutil::bench_threads();
+    std::printf("\n# parallel offline phase: 1 thread vs %u threads (YS_BENCH_THREADS); "
+                "%u hardware threads available\n",
+                threads, std::thread::hardware_concurrency());
+    if (std::thread::hardware_concurrency() < threads) {
+      std::printf("# NOTE: fewer cores than workers — speedup columns reflect "
+                  "scheduling overhead, not the parallel design; 'identical' "
+                  "is the meaningful column on this host\n");
+    }
+    std::printf("%6s %12s %12s %8s %12s %12s %8s %10s\n", "k", "local-1t(s)",
+                "local-Nt(s)", "speedup", "path-1t(s)", "path-Nt(s)", "speedup",
+                "identical");
+    for (const int k : benchutil::fat_tree_sweep()) {
+      topo::FatTree tree = topo::make_fat_tree({.k = k});
+      routing::FibBuilder::compute_and_build(tree.network, tree.routing);
+      bdd::BddManager trace_mgr(packet::kNumHeaderBits);
+      ys::CoverageTracker tracker;
+      {
+        const dataplane::MatchSetIndex match_sets(trace_mgr, tree.network);
+        const dataplane::Transfer transfer(match_sets);
+        nettest::TestSuite suite("fig9");
+        suite.add(std::make_unique<nettest::DefaultRouteCheck>());
+        suite.add(std::make_unique<nettest::ToRContract>());
+        suite.add(std::make_unique<nettest::ToRPingmesh>());
+        (void)suite.run_all(transfer, tracker);
+      }
+
+      struct Sample {
+        double local_s = 0.0;
+        double path_s = 0.0;
+        ys::MetricRow row;
+        ys::PathCoverageResult paths;
+      };
+      const auto measure = [&](unsigned t) {
+        Sample s;
+        bdd::BddManager m(packet::kNumHeaderBits);
+        const coverage::CoverageTrace local_trace = tracker.trace().imported_into(m);
+        benchutil::Stopwatch local_watch;
+        const ys::CoverageEngine engine(m, tree.network, local_trace,
+                                        ys::EngineOptions{nullptr, t});
+        s.row = engine.metrics();
+        s.local_s = local_watch.seconds();
+        benchutil::Stopwatch path_watch;
+        s.paths = engine.path_coverage({}, path_budget);
+        s.path_s = path_watch.seconds();
+        return s;
+      };
+      const Sample serial = measure(1);
+      const Sample parallel = measure(threads);
+
+      const bool rows_equal =
+          serial.row.device_fractional == parallel.row.device_fractional &&
+          serial.row.interface_fractional == parallel.row.interface_fractional &&
+          serial.row.rule_fractional == parallel.row.rule_fractional &&
+          serial.row.rule_weighted == parallel.row.rule_weighted;
+      const bool paths_equal =
+          serial.paths.total_paths == parallel.paths.total_paths &&
+          serial.paths.covered_paths == parallel.paths.covered_paths &&
+          serial.paths.fractional == parallel.paths.fractional &&
+          serial.paths.mean == parallel.paths.mean;
+      const bool any_truncated = serial.paths.truncated || parallel.paths.truncated;
+      const char* identical = !rows_equal                  ? "NO"
+                              : any_truncated              ? "n/a"
+                              : paths_equal                ? "yes"
+                                                           : "NO";
+      std::printf("%6d %12.3f %12.3f %7.2fx %12.3f %12.3f %7.2fx %10s\n", k,
+                  serial.local_s, parallel.local_s,
+                  parallel.local_s > 0 ? serial.local_s / parallel.local_s : 0.0,
+                  serial.path_s, parallel.path_s,
+                  parallel.path_s > 0 ? serial.path_s / parallel.path_s : 0.0,
+                  identical);
+    }
   }
 
   // Design-choice ablation (DESIGN.md §5): Equation-3 survivor sets are

@@ -43,4 +43,13 @@ inline double path_budget_seconds(double fallback = 60.0) {
   return env == nullptr ? fallback : std::atof(env);
 }
 
+/// Worker-thread count for the parallel-offline-phase comparison, from
+/// YS_BENCH_THREADS (default 4).
+inline unsigned bench_threads(unsigned fallback = 4) {
+  const char* env = std::getenv("YS_BENCH_THREADS");
+  if (env == nullptr) return fallback;
+  const int n = std::atoi(env);
+  return n > 0 ? static_cast<unsigned>(n) : fallback;
+}
+
 }  // namespace yardstick::benchutil

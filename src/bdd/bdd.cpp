@@ -134,12 +134,15 @@ NodeIndex BddManager::make(Var v, NodeIndex low, NodeIndex high) {
     slot = (slot + 1) & unique_mask_;
   }
   // Fresh allocation: the budget gate runs before the arena mutates, so a
-  // tripped budget leaves the manager fully consistent.
+  // tripped budget leaves the manager fully consistent. The node charge
+  // goes to the budget's atomic counter, shared by every manager attached
+  // to it — sharded parallel builds are capped collectively.
   if (budget_ != nullptr) {
-    if (budget_->max_bdd_nodes() != 0 && nodes_.size() >= budget_->max_bdd_nodes()) {
+    if ((nodes_.size() & 0xfff) == 0) budget_->check("bdd allocation");
+    if (!budget_->try_charge_bdd_nodes(1)) {
       throw ys::BudgetExceededError(budget_->node_cap_description());
     }
-    if ((nodes_.size() & 0xfff) == 0) budget_->check("bdd allocation");
+    ++charged_nodes_;
   }
   if (fault::active()) fault::fire("bdd.make");
   const NodeIndex fresh = static_cast<NodeIndex>(nodes_.size());
@@ -148,6 +151,21 @@ NodeIndex BddManager::make(Var v, NodeIndex low, NodeIndex high) {
   // Resize at 3/4 load to keep probe chains short.
   if (nodes_.size() * 4 > unique_table_.size() * 3) grow_unique_table();
   return fresh;
+}
+
+void BddManager::set_budget(const ys::ResourceBudget* budget) {
+  if (budget == budget_) return;
+  if (budget_ != nullptr) {
+    budget_->release_bdd_nodes(charged_nodes_);
+    charged_nodes_ = 0;
+  }
+  budget_ = budget;
+  if (budget_ != nullptr) {
+    // Charge the existing arena (terminals included) so the cap bounds
+    // total nodes, not growth since attachment.
+    budget_->charge_bdd_nodes(nodes_.size());
+    charged_nodes_ = nodes_.size();
+  }
 }
 
 Bdd BddManager::var(Var v) {
@@ -399,6 +417,38 @@ std::string BddManager::to_dot(const Bdd& f) {
   }
   out << "}\n";
   return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Cross-manager import
+// ---------------------------------------------------------------------------
+
+BddImporter::BddImporter(BddManager& dst, const BddManager& src) : dst_(dst), src_(src) {
+  if (dst.num_vars() != src.num_vars()) {
+    throw ys::InvalidInputError("BddImporter requires matching variable universes");
+  }
+}
+
+NodeIndex BddImporter::import_index(NodeIndex root) {
+  if (root <= kTrue) return root;  // terminals share indices everywhere
+  const auto hit = memo_.find(root);
+  if (hit != memo_.end()) return hit->second;
+  // Copy the fields before recursing: dst_.make() may be src_ itself in
+  // degenerate uses, and recursion must not hold a reference into a
+  // vector that can reallocate.
+  const BddNode nd = src_.node(root);
+  const NodeIndex low = import_index(nd.low);
+  const NodeIndex high = import_index(nd.high);
+  const NodeIndex out = dst_.make(nd.var, low, high);
+  memo_.emplace(root, out);
+  return out;
+}
+
+Bdd BddImporter::import(const Bdd& f) {
+  if (!f.valid()) return {};
+  assert(f.manager() == &src_ || f.manager() == &dst_);
+  if (f.manager() == &dst_) return f;
+  return {&dst_, import_index(f.index())};
 }
 
 }  // namespace yardstick::bdd

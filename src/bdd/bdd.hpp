@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "bdd/uint128.hpp"
@@ -151,13 +152,20 @@ class BddManager {
   /// Disable the apply cache (ablation only; quadratic blow-ups expected).
   void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
 
-  /// Attach a resource budget (non-owning; nullptr = unlimited). The node
+  /// Attach a resource budget (non-owning; nullptr = detach). The node
   /// cap is enforced on every fresh allocation; the deadline and cancel
   /// flag are polled every few thousand allocations. On a tripped budget,
   /// make() throws ys::BudgetExceededError / ys::CancelledError *before*
   /// mutating the arena, so the manager stays valid and callers can
   /// degrade to partial results.
-  void set_budget(const ys::ResourceBudget* budget) { budget_ = budget; }
+  ///
+  /// Node accounting is *global across managers*: attaching charges the
+  /// current arena size against the budget's atomic node counter and every
+  /// fresh allocation charges one more, so sharded per-thread managers
+  /// sharing one budget are capped collectively. Detaching (nullptr, or
+  /// attaching a different budget) releases this manager's charge. The
+  /// budget must stay alive while attached.
+  void set_budget(const ys::ResourceBudget* budget);
   [[nodiscard]] const ys::ResourceBudget* budget() const { return budget_; }
 
   // --- Internal index-level API (used by Bdd operators; public so that
@@ -200,10 +208,66 @@ class BddManager {
   bool cache_enabled_ = true;
   CacheStats cache_stats_;
   const ys::ResourceBudget* budget_ = nullptr;
+  // Nodes this manager has charged against budget_ (released on detach).
+  size_t charged_nodes_ = 0;
 
   // Persistent per-node model-count memo (nodes are immutable).
   std::vector<Uint128> count_memo_;
   std::vector<bool> count_memo_valid_;
+};
+
+/// Memoized structural copier between managers ("BDD export/import").
+///
+/// Recursing over (var, lo, hi) rebuilds a function bottom-up through
+/// dst.make(), so the copy is canonical in the destination manager and
+/// semantically identical to the source — model counts, implications and
+/// equality checks all agree. One importer owns one memo table; reuse it
+/// for every root copied from the same source so shared subgraphs are
+/// copied exactly once.
+///
+/// Thread-safety: import() mutates only the destination and *reads* only
+/// the source, so many importers (each with its own destination) may share
+/// one source concurrently as long as nothing mutates the source — the
+/// contract the parallel offline phase relies on when per-thread shards
+/// pull inputs from the engine's primary manager.
+class BddImporter {
+ public:
+  /// Both managers must share the same variable universe.
+  BddImporter(BddManager& dst, const BddManager& src);
+
+  BddImporter(const BddImporter&) = delete;
+  BddImporter& operator=(const BddImporter&) = delete;
+
+  /// Copy `f` (rooted in the source manager) into the destination;
+  /// invalid handles pass through unchanged.
+  [[nodiscard]] Bdd import(const Bdd& f);
+  [[nodiscard]] NodeIndex import_index(NodeIndex root);
+
+  [[nodiscard]] BddManager& destination() const { return dst_; }
+  [[nodiscard]] const BddManager& source() const { return src_; }
+
+ private:
+  BddManager& dst_;
+  const BddManager& src_;
+  std::unordered_map<NodeIndex, NodeIndex> memo_;
+};
+
+/// RAII budget attachment: attaches on construction, detaches on scope
+/// exit (returning the manager's node charge to the shared pool). The
+/// parallel offline phase wraps every short-lived shard manager in one of
+/// these so node accounting stays balanced on every exit path.
+class ScopedBudget {
+ public:
+  ScopedBudget(BddManager& mgr, const ys::ResourceBudget* budget) : mgr_(mgr) {
+    if (budget != nullptr) mgr_.set_budget(budget);
+  }
+  ~ScopedBudget() { mgr_.set_budget(nullptr); }
+
+  ScopedBudget(const ScopedBudget&) = delete;
+  ScopedBudget& operator=(const ScopedBudget&) = delete;
+
+ private:
+  BddManager& mgr_;
 };
 
 }  // namespace yardstick::bdd

@@ -14,6 +14,12 @@
 //
 // Budgets are passed by (non-owning) pointer; nullptr everywhere means
 // "unlimited", which keeps the default paths zero-cost.
+//
+// Thread-safety: one budget may be shared by many threads (the parallel
+// offline phase attaches it to per-thread BddManager shards). The cancel
+// flag, poll counter and node accounting are atomic; the deadline and
+// node cap are plain fields configured before the budget is shared
+// (thread creation provides the happens-before edge).
 #pragma once
 
 #include <atomic>
@@ -55,6 +61,45 @@ class ResourceBudget {
   /// 0 = unlimited. Enforced by BddManager at node-allocation time.
   [[nodiscard]] size_t max_bdd_nodes() const { return max_bdd_nodes_; }
 
+  // --- Cross-manager BDD node accounting (thread-safe) ---
+  //
+  // Every BddManager attached to this budget charges its arena growth
+  // here, so the node cap bounds *total* memory across all shards of a
+  // parallel computation, not per-manager usage. Managers release their
+  // charge when detached (set_budget(nullptr)), returning shard capacity
+  // to the pool when short-lived per-thread managers die.
+
+  /// Reserve `n` nodes against the cap. Returns false (charging nothing)
+  /// when the reservation would exceed the cap.
+  [[nodiscard]] bool try_charge_bdd_nodes(size_t n) const {
+    if (max_bdd_nodes_ == 0) {
+      used_bdd_nodes_.fetch_add(n, std::memory_order_relaxed);
+      return true;
+    }
+    size_t used = used_bdd_nodes_.load(std::memory_order_relaxed);
+    while (used + n <= max_bdd_nodes_) {
+      if (used_bdd_nodes_.compare_exchange_weak(used, used + n,
+                                                std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Unconditional charge (used when attaching a manager whose arena
+  /// already exists; subsequent allocations then fail fast).
+  void charge_bdd_nodes(size_t n) const {
+    used_bdd_nodes_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  void release_bdd_nodes(size_t n) const {
+    used_bdd_nodes_.fetch_sub(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] size_t used_bdd_nodes() const {
+    return used_bdd_nodes_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] bool has_deadline() const { return has_deadline_; }
 
   [[nodiscard]] bool deadline_passed() const {
@@ -81,7 +126,7 @@ class ResourceBudget {
   void poll(const char* where, uint32_t stride = 64) const {
     if (cancel_requested()) throw CancelledError(where);
     if (!has_deadline_) return;
-    if (++poll_counter_ % stride != 0) return;
+    if ((poll_counter_.fetch_add(1, std::memory_order_relaxed) + 1) % stride != 0) return;
     if (deadline_passed()) throw BudgetExceededError(deadline_description());
   }
 
@@ -99,7 +144,8 @@ class ResourceBudget {
   bool has_deadline_ = false;
   size_t max_bdd_nodes_ = 0;
   std::atomic<bool> cancelled_{false};
-  mutable uint32_t poll_counter_ = 0;
+  mutable std::atomic<uint32_t> poll_counter_{0};
+  mutable std::atomic<size_t> used_bdd_nodes_{0};
 };
 
 }  // namespace yardstick::ys

@@ -1,0 +1,55 @@
+// Minimal threading helpers for the parallel offline phase.
+//
+// The offline phase parallelizes embarrassingly (per-device match/covered
+// sets, per-ingress path sweeps), so all it needs is a fork-join worker
+// pool with deterministic error propagation — no task graph, no futures.
+// Determinism contract: workers write into pre-sized slots keyed by work
+// item, and callers fold those slots in item order, so results are
+// bit-identical to a serial run regardless of thread count.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace yardstick::ys {
+
+/// Resolve a requested worker count: 0 = one per hardware thread, always
+/// at least 1, never more than the number of work items.
+[[nodiscard]] inline unsigned resolve_threads(unsigned requested, size_t work_items) {
+  unsigned n = requested != 0 ? requested : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  if (work_items > 0 && work_items < n) n = static_cast<unsigned>(work_items);
+  return n;
+}
+
+/// Run fn(worker_index) on `workers` threads and join them all. Every
+/// worker always runs to completion (or its own exception) before this
+/// returns; the first captured exception — by worker index, so the choice
+/// is deterministic — is rethrown afterwards. With one worker, runs
+/// inline on the calling thread.
+inline void run_workers(unsigned workers, const std::function<void(unsigned)>& fn) {
+  if (workers <= 1) {
+    fn(0);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(workers);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&fn, &errors, w] {
+      try {
+        fn(w);
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace yardstick::ys

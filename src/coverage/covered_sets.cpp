@@ -1,48 +1,149 @@
 #include "coverage/covered_sets.hpp"
 
+#include <memory>
+
+#include "common/parallel.hpp"
+
 namespace yardstick::coverage {
 
 using packet::PacketSet;
 
+namespace {
+
+/// Per-worker shard of the parallel Algorithm 1: a private manager, an
+/// importer pulling inputs (trace slices, match sets) from the primary
+/// manager, and covered sets for the rules of the devices this worker owns.
+struct CoverShard {
+  std::unique_ptr<bdd::BddManager> mgr;
+  std::vector<PacketSet> covered;
+  bool truncated = false;
+};
+
+/// Algorithm 1 for one device. `import` maps a primary-manager set into
+/// the manager the computation runs in (identity for the serial path).
+/// Marked rules are skipped when `skip_marked` — the parallel merge
+/// assigns them straight from the primary index, avoiding a pointless
+/// round-trip through the shard.
+template <typename ImportFn>
+void cover_device(bdd::BddManager& mgr, const dataplane::MatchSetIndex& index,
+                  const CoverageTrace& trace, const net::Device& dev,
+                  const ImportFn& import, bool skip_marked,
+                  std::vector<PacketSet>& covered) {
+  const net::Network& network = index.network();
+  // One device-level P_T slice shared by all rules of the device,
+  // computed lazily (devices with no unmarked rules skip the unions).
+  PacketSet at_device;
+  bool at_device_computed = false;
+  const auto device_headers = [&]() -> const PacketSet& {
+    if (!at_device_computed) {
+      PacketSet acc = PacketSet::none(mgr);
+      const PacketSet local = trace.marked_packets().at(net::device_location(dev.id));
+      if (local.valid()) acc = acc.union_with(import(local));
+      for (const net::InterfaceId intf : network.device(dev.id).interfaces) {
+        const PacketSet at = trace.marked_packets().at(net::to_location(intf));
+        if (at.valid()) acc = acc.union_with(import(at));
+      }
+      at_device = acc;
+      at_device_computed = true;
+    }
+    return at_device;
+  };
+  for (const net::TableKind table : {net::TableKind::Acl, net::TableKind::Fib}) {
+    for (const net::RuleId rid : network.table(dev.id, table)) {
+      if (trace.rule_marked(rid)) {
+        if (!skip_marked) covered[rid.value] = index.match_set(rid);
+        continue;
+      }
+      PacketSet headers = device_headers();
+      // Packets the ingress ACL denies never reach the forwarding
+      // table, so they cannot exercise FIB rules behaviorally.
+      if (table == net::TableKind::Fib && network.has_acl(dev.id)) {
+        headers = headers.intersect(import(index.acl_permitted_space(dev.id)));
+      }
+      covered[rid.value] = headers.intersect(import(index.match_set(rid)));
+    }
+  }
+}
+
+}  // namespace
+
 CoveredSets::CoveredSets(const dataplane::MatchSetIndex& index, const CoverageTrace& trace,
-                         const ys::ResourceBudget* budget)
+                         const ys::ResourceBudget* budget, unsigned threads)
     : index_(index), trace_(trace), truncated_(index.truncated()) {
   bdd::BddManager& mgr = index.manager();
   const net::Network& network = index.network();
   covered_.resize(network.rule_count());
 
-  try {
-    for (const net::Device& dev : network.devices()) {
-      if (budget != nullptr) budget->poll("covered-set computation");
-      // One device-level P_T slice shared by all rules of the device.
-      PacketSet at_device;
-      bool at_device_computed = false;
-      const auto device_headers = [&]() -> const PacketSet& {
-        if (!at_device_computed) {
-          at_device = trace.headers_at_device(mgr, network, dev.id);
-          at_device_computed = true;
-        }
-        return at_device;
+  const std::vector<net::Device>& devices = network.devices();
+  const unsigned workers = ys::resolve_threads(threads, devices.size());
+
+  if (workers <= 1) {
+    const auto identity = [](const PacketSet& ps) -> const PacketSet& { return ps; };
+    try {
+      for (const net::Device& dev : devices) {
+        if (budget != nullptr) budget->poll("covered-set computation");
+        cover_device(mgr, index, trace, dev, identity, /*skip_marked=*/false, covered_);
+      }
+    } catch (const ys::StatusError& e) {
+      if (!ys::is_resource_exhaustion(e.code())) throw;
+      truncated_ = true;
+    }
+  } else {
+    // Sharded Algorithm 1: worker w owns devices w, w+T, ..., importing its
+    // inputs (trace slices, match sets, ACL spaces) from the quiescent
+    // primary manager and intersecting in a private one; the main thread
+    // merges per-rule results back in device order.
+    std::vector<CoverShard> shards(workers);
+    ys::run_workers(workers, [&](unsigned w) {
+      CoverShard& shard = shards[w];
+      shard.mgr = std::make_unique<bdd::BddManager>(mgr.num_vars());
+      // Attached manually (not ScopedBudget): the charge must stay until
+      // the main thread finishes the merge below.
+      if (budget != nullptr) shard.mgr->set_budget(budget);
+      shard.covered.resize(network.rule_count());
+      bdd::BddImporter from_primary(*shard.mgr, mgr);
+      const auto import = [&from_primary](const PacketSet& ps) {
+        return PacketSet(from_primary.import(ps.raw()));
       };
-      for (const net::TableKind table : {net::TableKind::Acl, net::TableKind::Fib}) {
-        for (const net::RuleId rid : network.table(dev.id, table)) {
-          if (trace.rule_marked(rid)) {
-            covered_[rid.value] = index.match_set(rid);
-            continue;
+      try {
+        for (size_t d = w; d < devices.size(); d += workers) {
+          if (budget != nullptr) budget->poll("covered-set computation");
+          cover_device(*shard.mgr, index, trace, devices[d], import,
+                       /*skip_marked=*/true, shard.covered);
+        }
+      } catch (const ys::StatusError& e) {
+        if (!ys::is_resource_exhaustion(e.code())) throw;
+        shard.truncated = true;
+      }
+    });
+
+    std::vector<std::unique_ptr<bdd::BddImporter>> importers;
+    importers.reserve(workers);
+    for (CoverShard& shard : shards) {
+      truncated_ = truncated_ || shard.truncated;
+      importers.push_back(std::make_unique<bdd::BddImporter>(mgr, *shard.mgr));
+    }
+    try {
+      for (size_t d = 0; d < devices.size(); ++d) {
+        const net::Device& dev = devices[d];
+        CoverShard& shard = shards[d % workers];
+        bdd::BddImporter& imp = *importers[d % workers];
+        for (const net::TableKind table : {net::TableKind::Acl, net::TableKind::Fib}) {
+          for (const net::RuleId rid : network.table(dev.id, table)) {
+            if (trace.rule_marked(rid)) {
+              covered_[rid.value] = index.match_set(rid);
+            } else if (shard.covered[rid.value].valid()) {
+              covered_[rid.value] = PacketSet(imp.import(shard.covered[rid.value].raw()));
+            }
           }
-          PacketSet headers = device_headers();
-          // Packets the ingress ACL denies never reach the forwarding
-          // table, so they cannot exercise FIB rules behaviorally.
-          if (table == net::TableKind::Fib && network.has_acl(dev.id)) {
-            headers = headers.intersect(index.acl_permitted_space(dev.id));
-          }
-          covered_[rid.value] = headers.intersect(index.match_set(rid));
         }
       }
+    } catch (const ys::StatusError& e) {
+      if (!ys::is_resource_exhaustion(e.code())) throw;
+      truncated_ = true;
     }
-  } catch (const ys::StatusError& e) {
-    if (!ys::is_resource_exhaustion(e.code())) throw;
-    truncated_ = true;
+    // Release the shards' node accounting before their managers die.
+    for (CoverShard& shard : shards) shard.mgr->set_budget(nullptr);
   }
 
   // Degraded completion: rules never reached get empty (terminal-only)
@@ -51,6 +152,15 @@ CoveredSets::CoveredSets(const dataplane::MatchSetIndex& index, const CoverageTr
     for (PacketSet& ps : covered_) {
       if (!ps.valid()) ps = PacketSet::none(mgr);
     }
+  }
+}
+
+CoveredSets::CoveredSets(const dataplane::MatchSetIndex& index, const CoveredSets& other)
+    : index_(index), trace_(other.trace_), truncated_(other.truncated_) {
+  bdd::BddImporter imp(index.manager(), other.manager());
+  covered_.reserve(other.covered_.size());
+  for (const PacketSet& ps : other.covered_) {
+    covered_.push_back(ps.valid() ? PacketSet(imp.import(ps.raw())) : PacketSet{});
   }
 }
 

@@ -26,8 +26,21 @@ class CoveredSets {
   /// `budget` (non-owning, may be null) bounds the computation: when it
   /// trips mid-walk the remaining rules get empty covered sets, truncated()
   /// flips to true, and construction completes without throwing.
+  ///
+  /// `threads` > 1 shards the per-device walks across worker threads, each
+  /// intersecting in its own BddManager (trace slices and match sets are
+  /// structurally imported in), and merges the covered sets back into the
+  /// index's manager. Merged sets are canonical there and semantically
+  /// identical to a serial run, so covered-set sizes are bit-identical
+  /// regardless of thread count (0 = one worker per hardware thread).
   CoveredSets(const dataplane::MatchSetIndex& index, const CoverageTrace& trace,
-              const ys::ResourceBudget* budget = nullptr);
+              const ys::ResourceBudget* budget = nullptr, unsigned threads = 1);
+
+  /// Structural clone onto another index (itself a clone of the original
+  /// index into a different manager): copies every covered set into
+  /// `index.manager()`. Read-only with respect to `other`, so concurrent
+  /// workers may each clone the same covered sets into private managers.
+  CoveredSets(const dataplane::MatchSetIndex& index, const CoveredSets& other);
 
   /// True when a resource budget stopped Algorithm 1 early; covered sets
   /// for the rules never reached are empty (coverage under-reported).

@@ -47,10 +47,12 @@ bool PathExplorer::dfs(DfsState& state, net::DeviceId device,
                        net::InterfaceId in_interface, const PacketSet& flowing,
                        const PacketSet& survivors, double min_ratio, int depth) const {
   if (fault::active()) fault::fire("path.dfs");
-  // Cooperative budget gate: a tripped deadline/cancel terminates the
-  // in-flight path as BudgetExceeded (distinguishable from DepthLimit) and
-  // unwinds the whole exploration.
-  if (options_.budget != nullptr && options_.budget->exhausted()) {
+  // Cooperative budget gate: a tripped deadline/cancel (budget- or
+  // explorer-level) terminates the in-flight path as BudgetExceeded
+  // (distinguishable from DepthLimit) and unwinds the whole exploration.
+  if ((options_.budget != nullptr && options_.budget->exhausted()) ||
+      (options_.has_deadline &&
+       ys::ResourceBudget::Clock::now() >= options_.deadline)) {
     emit(state, flowing, min_ratio, PathEnd::BudgetExceeded);
     return false;
   }
@@ -194,6 +196,9 @@ uint64_t PathExplorer::explore_universe(
     state.origin = net::to_location(intf.id);
     if (options_.max_paths != 0 && total >= options_.max_paths) break;
     if (options_.budget != nullptr && options_.budget->exhausted()) break;
+    if (options_.has_deadline && ys::ResourceBudget::Clock::now() >= options_.deadline) {
+      break;
+    }
     Options remaining = options_;
     if (remaining.max_paths != 0) remaining.max_paths -= total;
     // Each ingress port gets its own DFS; the per-call budget shrinks as

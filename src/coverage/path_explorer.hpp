@@ -74,6 +74,12 @@ struct PathExplorerOptions {
   /// additionally throws from inside set operations (callers catch and
   /// flag the sweep truncated — see CoverageEngine::path_coverage).
   const ys::ResourceBudget* budget = nullptr;
+  /// Absolute wall-clock deadline for this exploration, active when
+  /// `has_deadline` is set. Checked at every DFS node expansion alongside
+  /// the budget gate — not merely every N emitted paths — so even a sweep
+  /// stuck deep inside one enormous ingress subtree stops on time.
+  ys::ResourceBudget::Clock::time_point deadline{};
+  bool has_deadline = false;
 };
 
 class PathExplorer {

@@ -7,7 +7,10 @@
 // space touched rather than the number of API calls.
 #pragma once
 
+#include <memory>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "netmodel/network.hpp"
 #include "packet/located_packet_set.hpp"
@@ -67,6 +70,38 @@ class CoverageTrace {
       if (at.valid()) acc = acc.union_with(at);
     }
     return acc;
+  }
+
+  /// Structural copy of this trace into another manager: every located
+  /// packet set is imported into `dst` (memoized per source manager, so
+  /// shared subgraphs copy once); marked rules carry over verbatim.
+  /// Read-only on *this, so concurrent workers may each import the same
+  /// trace into their private managers.
+  [[nodiscard]] CoverageTrace imported_into(bdd::BddManager& dst) const {
+    CoverageTrace out;
+    out.marked_rules_ = marked_rules_;
+    std::vector<std::pair<const bdd::BddManager*, std::unique_ptr<bdd::BddImporter>>>
+        importers;
+    for (const auto& [loc, ps] : marked_packets_.entries()) {
+      const bdd::BddManager* src = ps.raw().manager();
+      if (src == nullptr || src == &dst) {
+        out.marked_packets_.insert(loc, ps);
+        continue;
+      }
+      bdd::BddImporter* imp = nullptr;
+      for (auto& [m, i] : importers) {
+        if (m == src) {
+          imp = i.get();
+          break;
+        }
+      }
+      if (imp == nullptr) {
+        importers.emplace_back(src, std::make_unique<bdd::BddImporter>(dst, *src));
+        imp = importers.back().second.get();
+      }
+      out.marked_packets_.insert(loc, packet::PacketSet(imp->import(ps.raw())));
+    }
+    return out;
   }
 
   /// Headers reported as arriving on one specific interface.

@@ -1,5 +1,9 @@
 #include "dataplane/match_sets.hpp"
 
+#include <memory>
+
+#include "common/parallel.hpp"
+
 namespace yardstick::dataplane {
 
 using packet::Field;
@@ -24,8 +28,58 @@ PacketSet MatchSetIndex::build_match_field(bdd::BddManager& mgr,
   return acc;
 }
 
+namespace {
+
+/// One device's table walk — the unit of work both the serial and the
+/// sharded parallel build share. Writes the device's rules into the
+/// (rule/device-indexed) output vectors, building in `mgr`.
+void build_device_tables(bdd::BddManager& mgr, const net::Network& network,
+                         const net::Device& dev, std::vector<PacketSet>& match_fields,
+                         std::vector<PacketSet>& match_sets,
+                         std::vector<PacketSet>& matched_space,
+                         std::vector<PacketSet>& acl_permitted) {
+  for (const net::TableKind table : {net::TableKind::Acl, net::TableKind::Fib}) {
+    // Walk the ordered table, giving each rule the part of its match
+    // field not already claimed by an earlier rule.
+    PacketSet claimed = PacketSet::none(mgr);
+    PacketSet permitted = PacketSet::none(mgr);
+    for (const net::RuleId rid : network.table(dev.id, table)) {
+      const net::Rule& r = network.rule(rid);
+      PacketSet field = MatchSetIndex::build_match_field(mgr, r.match);
+      PacketSet disjoint = field.minus(claimed);
+      claimed = claimed.union_with(field);
+      if (r.action.type == net::ActionType::Permit) {
+        permitted = permitted.union_with(disjoint);
+      }
+      match_sets[rid.value] = std::move(disjoint);
+      match_fields[rid.value] = std::move(field);
+    }
+    if (table == net::TableKind::Fib) {
+      matched_space[dev.id.value] = claimed;
+    } else {
+      // No ACL stage means everything is permitted (implicit deny only
+      // applies when an ACL exists).
+      acl_permitted[dev.id.value] =
+          network.has_acl(dev.id) ? permitted : PacketSet::all(mgr);
+    }
+  }
+}
+
+/// Per-worker shard of the parallel build: a private manager plus result
+/// vectors for the devices this worker owns (strided assignment).
+struct BuildShard {
+  std::unique_ptr<bdd::BddManager> mgr;
+  std::vector<PacketSet> match_fields;
+  std::vector<PacketSet> match_sets;
+  std::vector<PacketSet> matched_space;
+  std::vector<PacketSet> acl_permitted;
+  bool truncated = false;
+};
+
+}  // namespace
+
 MatchSetIndex::MatchSetIndex(bdd::BddManager& mgr, const net::Network& network,
-                             const ys::ResourceBudget* budget)
+                             const ys::ResourceBudget* budget, unsigned threads)
     : mgr_(mgr), network_(network) {
   const size_t num_rules = network.rule_count();
   match_fields_.resize(num_rules);
@@ -33,38 +87,79 @@ MatchSetIndex::MatchSetIndex(bdd::BddManager& mgr, const net::Network& network,
   matched_space_.resize(network.device_count());
   acl_permitted_.resize(network.device_count());
 
-  try {
-    for (const net::Device& dev : network.devices()) {
-      if (budget != nullptr) budget->poll("match-set computation");
-      for (const net::TableKind table : {net::TableKind::Acl, net::TableKind::Fib}) {
-        // Walk the ordered table, giving each rule the part of its match
-        // field not already claimed by an earlier rule.
-        PacketSet claimed = PacketSet::none(mgr);
-        PacketSet permitted = PacketSet::none(mgr);
-        for (const net::RuleId rid : network.table(dev.id, table)) {
-          const net::Rule& r = network.rule(rid);
-          PacketSet field = build_match_field(mgr, r.match);
-          PacketSet disjoint = field.minus(claimed);
-          claimed = claimed.union_with(field);
-          if (r.action.type == net::ActionType::Permit) {
-            permitted = permitted.union_with(disjoint);
-          }
-          match_sets_[rid.value] = std::move(disjoint);
-          match_fields_[rid.value] = std::move(field);
-        }
-        if (table == net::TableKind::Fib) {
-          matched_space_[dev.id.value] = claimed;
-        } else {
-          // No ACL stage means everything is permitted (implicit deny only
-          // applies when an ACL exists).
-          acl_permitted_[dev.id.value] =
-              network.has_acl(dev.id) ? permitted : PacketSet::all(mgr);
-        }
+  const std::vector<net::Device>& devices = network.devices();
+  const unsigned workers = ys::resolve_threads(threads, devices.size());
+
+  if (workers <= 1) {
+    try {
+      for (const net::Device& dev : devices) {
+        if (budget != nullptr) budget->poll("match-set computation");
+        build_device_tables(mgr, network, dev, match_fields_, match_sets_,
+                            matched_space_, acl_permitted_);
       }
+    } catch (const ys::StatusError& e) {
+      if (!ys::is_resource_exhaustion(e.code())) throw;
+      truncated_ = true;
     }
-  } catch (const ys::StatusError& e) {
-    if (!ys::is_resource_exhaustion(e.code())) throw;
-    truncated_ = true;
+  } else {
+    // Sharded build: worker w owns devices w, w+T, w+2T, ... and builds
+    // them in a private manager; the main thread then merges every shard
+    // into the primary manager by structural import, walking devices in
+    // network order so the merge is deterministic.
+    std::vector<BuildShard> shards(workers);
+    ys::run_workers(workers, [&](unsigned w) {
+      BuildShard& shard = shards[w];
+      shard.mgr = std::make_unique<bdd::BddManager>(mgr_.num_vars());
+      // Attached manually (not ScopedBudget): the charge must outlive the
+      // worker and stay until the main thread finishes the merge below,
+      // since the shard's nodes are alive until then.
+      if (budget != nullptr) shard.mgr->set_budget(budget);
+      shard.match_fields.resize(num_rules);
+      shard.match_sets.resize(num_rules);
+      shard.matched_space.resize(network.device_count());
+      shard.acl_permitted.resize(network.device_count());
+      try {
+        for (size_t d = w; d < devices.size(); d += workers) {
+          if (budget != nullptr) budget->poll("match-set computation");
+          build_device_tables(*shard.mgr, network, devices[d], shard.match_fields,
+                              shard.match_sets, shard.matched_space,
+                              shard.acl_permitted);
+        }
+      } catch (const ys::StatusError& e) {
+        if (!ys::is_resource_exhaustion(e.code())) throw;
+        shard.truncated = true;
+      }
+    });
+
+    std::vector<std::unique_ptr<bdd::BddImporter>> importers;
+    importers.reserve(workers);
+    for (BuildShard& shard : shards) {
+      truncated_ = truncated_ || shard.truncated;
+      importers.push_back(std::make_unique<bdd::BddImporter>(mgr_, *shard.mgr));
+    }
+    try {
+      for (size_t d = 0; d < devices.size(); ++d) {
+        const net::Device& dev = devices[d];
+        BuildShard& shard = shards[d % workers];
+        bdd::BddImporter& imp = *importers[d % workers];
+        const auto merged = [&imp](const PacketSet& src) {
+          return src.valid() ? PacketSet(imp.import(src.raw())) : PacketSet{};
+        };
+        for (const net::TableKind table : {net::TableKind::Acl, net::TableKind::Fib}) {
+          for (const net::RuleId rid : network.table(dev.id, table)) {
+            match_fields_[rid.value] = merged(shard.match_fields[rid.value]);
+            match_sets_[rid.value] = merged(shard.match_sets[rid.value]);
+          }
+        }
+        matched_space_[dev.id.value] = merged(shard.matched_space[dev.id.value]);
+        acl_permitted_[dev.id.value] = merged(shard.acl_permitted[dev.id.value]);
+      }
+    } catch (const ys::StatusError& e) {
+      if (!ys::is_resource_exhaustion(e.code())) throw;
+      truncated_ = true;
+    }
+    // Release the shards' node accounting before their managers die.
+    for (BuildShard& shard : shards) shard.mgr->set_budget(nullptr);
   }
 
   // Degraded completion: rules/devices never reached get well-formed empty
@@ -84,6 +179,22 @@ MatchSetIndex::MatchSetIndex(bdd::BddManager& mgr, const net::Network& network,
       if (!ps.valid()) ps = PacketSet::none(mgr);
     }
   }
+}
+
+MatchSetIndex::MatchSetIndex(bdd::BddManager& dst, const MatchSetIndex& other)
+    : mgr_(dst), network_(other.network_), truncated_(other.truncated_) {
+  bdd::BddImporter imp(dst, other.mgr_);
+  const auto clone_all = [&imp](const std::vector<PacketSet>& src,
+                                std::vector<PacketSet>& out) {
+    out.reserve(src.size());
+    for (const PacketSet& ps : src) {
+      out.push_back(ps.valid() ? PacketSet(imp.import(ps.raw())) : PacketSet{});
+    }
+  };
+  clone_all(other.match_fields_, match_fields_);
+  clone_all(other.match_sets_, match_sets_);
+  clone_all(other.matched_space_, matched_space_);
+  clone_all(other.acl_permitted_, acl_permitted_);
 }
 
 }  // namespace yardstick::dataplane

@@ -26,8 +26,21 @@ class MatchSetIndex {
   /// deadline, node cap or cancel flag trips mid-walk, the remaining rules
   /// get empty match sets, truncated() flips to true, and construction
   /// completes without throwing — partial results instead of a runaway.
+  ///
+  /// `threads` > 1 shards the per-device walks across that many worker
+  /// threads, each building in its own BddManager, and merges the results
+  /// into `mgr` via memoized structural import. The merged sets are
+  /// canonical in `mgr` and semantically identical to a serial build, so
+  /// every size/count downstream is bit-identical regardless of thread
+  /// count (0 = one worker per hardware thread).
   MatchSetIndex(bdd::BddManager& mgr, const net::Network& network,
-                const ys::ResourceBudget* budget = nullptr);
+                const ys::ResourceBudget* budget = nullptr, unsigned threads = 1);
+
+  /// Structural clone into another manager: copies every packet set of
+  /// `other` into `dst` (memoized import, shared subgraphs copied once).
+  /// Read-only with respect to `other`, so concurrent workers may each
+  /// clone the same index into their private managers.
+  MatchSetIndex(bdd::BddManager& dst, const MatchSetIndex& other);
 
   /// True when a resource budget stopped the computation early; every
   /// accessor below then under-reports for the rules never reached.

@@ -9,12 +9,16 @@
 
 namespace yardstick::ys {
 
-double SuiteAnalyzer::rule_coverage_of(const coverage::CoverageTrace& trace) const {
+double SuiteAnalyzer::rule_coverage_of(const coverage::CoverageTrace& trace,
+                                       bool* truncated) const {
   // A fresh index per evaluation keeps the analyzer self-contained; the
   // BDD manager's caches make repeated construction cheap.
-  const dataplane::MatchSetIndex index(mgr_, network_);
+  const dataplane::MatchSetIndex index(mgr_, network_, budget_);
   const dataplane::Transfer transfer(index);
-  const coverage::CoveredSets covered(index, trace);
+  const coverage::CoveredSets covered(index, trace, budget_);
+  if (truncated != nullptr && (index.truncated() || covered.truncated())) {
+    *truncated = true;
+  }
   const coverage::ComponentFactory factory(transfer);
   return coverage::collection_coverage(covered, factory.all_rules(),
                                        coverage::fractional_aggregator());
@@ -27,56 +31,66 @@ SuiteAnalysis SuiteAnalyzer::analyze(const dataplane::Transfer& transfer,
   SuiteAnalysis analysis;
   analysis.tests.resize(n);
 
-  // Run each test in isolation.
-  std::vector<coverage::CoverageTrace> traces(n);
-  for (size_t i = 0; i < n; ++i) {
-    CoverageTracker tracker;
-    (void)suite.test(i).run(transfer, tracker);
-    traces[i] = tracker.trace();
-    analysis.tests[i].name = suite.test(i).name();
-    analysis.tests[i].solo = rule_coverage_of(traces[i]);
-  }
-
-  // Full-suite coverage and leave-one-out marginals.
-  const auto merged = [&](const std::vector<bool>& include) {
-    coverage::CoverageTrace acc;
+  try {
+    // Run each test in isolation.
+    std::vector<coverage::CoverageTrace> traces(n);
     for (size_t i = 0; i < n; ++i) {
-      if (include[i]) acc.merge(traces[i]);
+      CoverageTracker tracker;
+      (void)suite.test(i).run(transfer, tracker);
+      traces[i] = tracker.trace();
+      analysis.tests[i].name = suite.test(i).name();
+      analysis.tests[i].solo = rule_coverage_of(traces[i], &analysis.truncated);
     }
-    return acc;
-  };
-  std::vector<bool> all(n, true);
-  analysis.full = rule_coverage_of(merged(all));
-  for (size_t i = 0; i < n; ++i) {
-    std::vector<bool> without = all;
-    without[i] = false;
-    const double rest = rule_coverage_of(merged(without));
-    analysis.tests[i].marginal = analysis.full - rest;
-    analysis.tests[i].redundant = analysis.tests[i].marginal <= epsilon;
-  }
 
-  // Greedy maximum-marginal ordering.
-  std::vector<bool> selected(n, false);
-  coverage::CoverageTrace running;
-  double current = rule_coverage_of(running);
-  for (size_t step = 0; step < n; ++step) {
-    double best_gain = -1.0;
-    size_t best = 0;
-    for (size_t i = 0; i < n; ++i) {
-      if (selected[i]) continue;
-      coverage::CoverageTrace candidate = running;
-      candidate.merge(traces[i]);
-      const double gain = rule_coverage_of(candidate) - current;
-      if (gain > best_gain) {
-        best_gain = gain;
-        best = i;
+    // Full-suite coverage and leave-one-out marginals.
+    const auto merged = [&](const std::vector<bool>& include) {
+      coverage::CoverageTrace acc;
+      for (size_t i = 0; i < n; ++i) {
+        if (include[i]) acc.merge(traces[i]);
       }
+      return acc;
+    };
+    std::vector<bool> all(n, true);
+    analysis.full = rule_coverage_of(merged(all), &analysis.truncated);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<bool> without = all;
+      without[i] = false;
+      const double rest = rule_coverage_of(merged(without), &analysis.truncated);
+      // Clamp at 0: under a tripped budget the leave-one-out run can cover
+      // *more* than the degraded full-suite run, and a negative "value of
+      // this test" is meaningless.
+      analysis.tests[i].marginal = std::max(0.0, analysis.full - rest);
+      analysis.tests[i].redundant = analysis.tests[i].marginal <= epsilon;
     }
-    selected[best] = true;
-    running.merge(traces[best]);
-    current += best_gain;
-    analysis.greedy_order.push_back(best);
-    analysis.greedy_cumulative.push_back(current);
+
+    // Greedy maximum-marginal ordering.
+    std::vector<bool> selected(n, false);
+    coverage::CoverageTrace running;
+    double current = rule_coverage_of(running, &analysis.truncated);
+    for (size_t step = 0; step < n; ++step) {
+      double best_gain = -1.0;
+      size_t best = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (selected[i]) continue;
+        coverage::CoverageTrace candidate = running;
+        candidate.merge(traces[i]);
+        const double gain = rule_coverage_of(candidate, &analysis.truncated) - current;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = i;
+        }
+      }
+      selected[best] = true;
+      running.merge(traces[best]);
+      current += best_gain;
+      analysis.greedy_order.push_back(best);
+      analysis.greedy_cumulative.push_back(current);
+    }
+  } catch (const StatusError& e) {
+    // A budget tripping outside the degradable coverage computations (e.g.
+    // while running a test) leaves the contributions computed so far.
+    if (!is_resource_exhaustion(e.code())) throw;
+    analysis.truncated = true;
   }
   return analysis;
 }

@@ -41,12 +41,22 @@ struct SuiteAnalysis {
   std::vector<double> greedy_cumulative;
   /// Fractional rule coverage of the whole suite.
   double full = 0.0;
+  /// True when a resource budget degraded any underlying coverage
+  /// computation: every number above is then a lower bound, and marginals
+  /// (clamped at 0) may under-state a test's real contribution.
+  bool truncated = false;
 };
 
 class SuiteAnalyzer {
  public:
-  SuiteAnalyzer(bdd::BddManager& mgr, const net::Network& network)
-      : mgr_(mgr), network_(network) {}
+  /// `budget` (non-owning, may be null; must outlive the analyzer) bounds
+  /// every per-test coverage computation; a tripped budget surfaces as
+  /// SuiteAnalysis::truncated instead of an exception.
+  SuiteAnalyzer(bdd::BddManager& mgr, const net::Network& network,
+                const ResourceBudget* budget = nullptr)
+      : mgr_(mgr), network_(network), budget_(budget) {
+    if (budget != nullptr) mgr.set_budget(budget);
+  }
 
   /// Runs every test of `suite` in isolation (each gets its own trace)
   /// and computes contributions against fractional rule coverage.
@@ -56,10 +66,12 @@ class SuiteAnalyzer {
                                       double epsilon = 1e-12) const;
 
  private:
-  [[nodiscard]] double rule_coverage_of(const coverage::CoverageTrace& trace) const;
+  [[nodiscard]] double rule_coverage_of(const coverage::CoverageTrace& trace,
+                                        bool* truncated = nullptr) const;
 
   bdd::BddManager& mgr_;
   const net::Network& network_;
+  const ResourceBudget* budget_ = nullptr;
 };
 
 /// A synthesized probe for an untested rule.

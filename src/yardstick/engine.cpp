@@ -1,6 +1,10 @@
 #include "yardstick/engine.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <optional>
+
+#include "common/parallel.hpp"
 
 namespace yardstick::ys {
 
@@ -21,11 +25,17 @@ const ResourceBudget* attach_budget(bdd::BddManager& mgr, const ResourceBudget* 
 CoverageEngine::CoverageEngine(bdd::BddManager& mgr, const net::Network& network,
                                const coverage::CoverageTrace& trace,
                                const ResourceBudget* budget)
+    : CoverageEngine(mgr, network, trace, EngineOptions{budget, 1}) {}
+
+CoverageEngine::CoverageEngine(bdd::BddManager& mgr, const net::Network& network,
+                               const coverage::CoverageTrace& trace,
+                               const EngineOptions& options)
     : network_(network),
-      budget_(attach_budget(mgr, budget)),
-      index_(mgr, network, budget),
+      budget_(attach_budget(mgr, options.budget)),
+      threads_(options.threads),
+      index_(mgr, network, options.budget, options.threads),
       transfer_(index_),
-      covered_(index_, trace, budget),
+      covered_(index_, trace, options.budget, options.threads),
       factory_(transfer_) {}
 
 template <typename Fn>
@@ -86,42 +96,150 @@ double CoverageEngine::interfaces_coverage(const coverage::Aggregator& aggregate
       covered_, factory_.all_interfaces(filtered_devices(filter), direction), aggregate);
 }
 
-PathCoverageResult CoverageEngine::path_coverage(coverage::PathExplorerOptions options,
-                                                 double deadline_seconds) const {
-  PathCoverageResult result;
-  result.truncated = truncated();  // steps 1-2 already degraded: Eq. 3 inputs partial
-  if (options.budget == nullptr) options.budget = budget_;
-  const coverage::PathExplorer explorer(transfer_, &covered_, options);
-  const auto start = std::chrono::steady_clock::now();
+namespace {
+
+/// Partial sweep results for one ingress port. Serial and parallel runs
+/// both compute per-ingress partials with identical arithmetic and fold
+/// them in ingress order, so the final counts/ratios are bit-identical
+/// regardless of thread count.
+struct IngressSweep {
+  uint64_t total_paths = 0;
+  uint64_t covered_paths = 0;
+  double ratio_sum = 0.0;
+  bool truncated = false;
+};
+
+/// Run the streamed DFS for one ingress port. `emitted_total` is the
+/// sweep-global path counter enforcing options.max_paths across every
+/// ingress (and every worker); the per-explorer cap is disabled.
+IngressSweep sweep_ingress(const dataplane::Transfer& transfer,
+                           const coverage::CoveredSets& covered,
+                           const coverage::PathExplorerOptions& options,
+                           const net::Interface& intf,
+                           std::atomic<uint64_t>& emitted_total) {
+  IngressSweep sweep;
+  coverage::PathExplorerOptions local = options;
+  local.max_paths = 0;  // the global cap below governs, not the per-DFS one
+  const coverage::PathExplorer explorer(transfer, &covered, local);
+  const packet::PacketSet all =
+      packet::PacketSet::all(transfer.index().manager());
   try {
-    explorer.explore_universe([&](const coverage::ExploredPath& path) {
-      ++result.total_paths;
-      if (path.covered_ratio > 0.0) ++result.covered_paths;
-      result.mean += path.covered_ratio;
+    explorer.explore(intf.device, intf.id, all, [&](const coverage::ExploredPath& path) {
+      ++sweep.total_paths;
+      if (path.covered_ratio > 0.0) ++sweep.covered_paths;
+      sweep.ratio_sum += path.covered_ratio;
       // The explorer marks paths it had to cut short when the cooperative
-      // budget tripped mid-DFS.
-      if (path.end == coverage::PathEnd::BudgetExceeded) result.truncated = true;
-      if (deadline_seconds > 0.0 && (result.total_paths & 0x3ff) == 0) {
-        const std::chrono::duration<double> elapsed =
-            std::chrono::steady_clock::now() - start;
-        if (elapsed.count() > deadline_seconds) {
-          result.truncated = true;
-          return false;
-        }
-      }
-      return true;
+      // budget or the deadline tripped mid-DFS.
+      if (path.end == coverage::PathEnd::BudgetExceeded) sweep.truncated = true;
+      const uint64_t emitted = emitted_total.fetch_add(1, std::memory_order_relaxed) + 1;
+      return options.max_paths == 0 || emitted < options.max_paths;
     });
   } catch (const StatusError& e) {
     // The BDD node cap throws from inside set operations; everything
     // emitted so far is a valid partial sweep.
     if (!is_resource_exhaustion(e.code())) throw;
-    result.truncated = true;
+    sweep.truncated = true;
   }
+  return sweep;
+}
+
+}  // namespace
+
+PathCoverageResult CoverageEngine::path_coverage(coverage::PathExplorerOptions options,
+                                                 double deadline_seconds) const {
+  PathCoverageResult result;
+  result.truncated = truncated();  // steps 1-2 already degraded: Eq. 3 inputs partial
+  if (options.budget == nullptr) options.budget = budget_;
+  if (deadline_seconds > 0.0) {
+    const auto limit = ResourceBudget::Clock::now() +
+                       std::chrono::duration_cast<ResourceBudget::Clock::duration>(
+                           std::chrono::duration<double>(deadline_seconds));
+    if (!options.has_deadline || limit < options.deadline) options.deadline = limit;
+    options.has_deadline = true;
+  }
+
+  // The sweep frontier: every edge ingress port, in network interface
+  // order (the fold order that fixes the floating-point sums).
+  std::vector<const net::Interface*> frontier;
+  for (const net::Interface& intf : network_.interfaces()) {
+    if (intf.kind == net::PortKind::HostPort || intf.kind == net::PortKind::ExternalPort) {
+      frontier.push_back(&intf);
+    }
+  }
+
+  const unsigned workers = ys::resolve_threads(threads_, frontier.size());
+  std::vector<IngressSweep> sweeps(frontier.size());
+  std::atomic<uint64_t> emitted_total{0};
+  std::atomic<bool> stopped_early{false};
+  const auto out_of_time = [&options] {
+    return (options.budget != nullptr && options.budget->exhausted()) ||
+           (options.has_deadline &&
+            ResourceBudget::Clock::now() >= options.deadline);
+  };
+  const auto out_of_paths = [&options, &emitted_total] {
+    return options.max_paths != 0 &&
+           emitted_total.load(std::memory_order_relaxed) >= options.max_paths;
+  };
+
+  if (workers <= 1) {
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      if (out_of_time() || out_of_paths()) {
+        stopped_early.store(true, std::memory_order_relaxed);
+        break;
+      }
+      sweeps[i] = sweep_ingress(transfer_, covered_, options, *frontier[i], emitted_total);
+    }
+  } else {
+    // Parallel sweep: workers clone the offline-phase products into private
+    // managers (read-only imports from the quiescent primary) and drain a
+    // shared ingress cursor; partials land in per-ingress slots.
+    std::atomic<size_t> cursor{0};
+    std::atomic<bool> clone_failed{false};
+    ys::run_workers(workers, [&](unsigned /*worker*/) {
+      bdd::BddManager local_mgr(index_.manager().num_vars());
+      const bdd::ScopedBudget attach(local_mgr, options.budget);
+      std::optional<dataplane::MatchSetIndex> local_index;
+      std::optional<dataplane::Transfer> local_transfer;
+      std::optional<coverage::CoveredSets> local_covered;
+      try {
+        local_index.emplace(local_mgr, index_);
+        local_transfer.emplace(*local_index);
+        local_covered.emplace(*local_index, covered_);
+      } catch (const StatusError& e) {
+        // A budget too tight to even clone the inputs: this worker
+        // contributes nothing and the sweep reports truncated.
+        if (!is_resource_exhaustion(e.code())) throw;
+        clone_failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      while (true) {
+        if (out_of_time() || out_of_paths()) {
+          stopped_early.store(true, std::memory_order_relaxed);
+          break;
+        }
+        const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= frontier.size()) break;
+        sweeps[i] =
+            sweep_ingress(*local_transfer, *local_covered, options, *frontier[i],
+                          emitted_total);
+      }
+    });
+    if (clone_failed.load(std::memory_order_relaxed)) result.truncated = true;
+  }
+
+  // Deterministic fold in ingress order.
+  for (const IngressSweep& s : sweeps) {
+    result.total_paths += s.total_paths;
+    result.covered_paths += s.covered_paths;
+    result.mean += s.ratio_sum;
+    result.truncated = result.truncated || s.truncated;
+  }
+  if (stopped_early.load(std::memory_order_relaxed)) result.truncated = true;
   if (options.max_paths != 0 && result.total_paths >= options.max_paths) {
     result.truncated = true;
   }
   // A budget that tripped between paths (or before the first ingress) makes
-  // the explorer stop silently; the sweep is still partial.
+  // the sweep stop silently; the result is still partial.
   if (options.budget != nullptr && options.budget->exhausted()) result.truncated = true;
   if (result.total_paths > 0) {
     result.fractional = static_cast<double>(result.covered_paths) /

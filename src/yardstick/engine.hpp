@@ -40,6 +40,19 @@ struct PathCoverageResult {
   bool truncated = false;      // hit the max_paths / deadline / budget limit
 };
 
+/// Construction-time knobs for the engine's offline phase.
+struct EngineOptions {
+  /// Non-owning; may be null; must outlive the engine. See the engine
+  /// constructor docs for degradation semantics.
+  const ResourceBudget* budget = nullptr;
+  /// Worker threads for the offline phase (match sets, covered sets and
+  /// path-universe sweeps): 1 = serial, 0 = one per hardware thread.
+  /// Unbounded results are bit-identical across thread counts — workers
+  /// build in private BDD managers, results merge canonically into the
+  /// engine's manager, and floating-point folds run in a fixed order.
+  unsigned threads = 1;
+};
+
 class CoverageEngine {
  public:
   /// Runs steps 1 and 2 (match sets + covered sets) immediately; metric
@@ -53,6 +66,10 @@ class CoverageEngine {
   CoverageEngine(bdd::BddManager& mgr, const net::Network& network,
                  const coverage::CoverageTrace& trace,
                  const ResourceBudget* budget = nullptr);
+
+  /// Same, with the full option set (budget + worker threads).
+  CoverageEngine(bdd::BddManager& mgr, const net::Network& network,
+                 const coverage::CoverageTrace& trace, const EngineOptions& options);
 
   /// True when a resource budget degraded steps 1-2; all metrics are
   /// lower bounds in that case.
@@ -108,6 +125,7 @@ class CoverageEngine {
   [[nodiscard]] const coverage::CoveredSets& covered_sets() const { return covered_; }
   [[nodiscard]] const coverage::ComponentFactory& components() const { return factory_; }
   [[nodiscard]] const net::Network& network() const { return network_; }
+  [[nodiscard]] unsigned threads() const { return threads_; }
 
  private:
   [[nodiscard]] std::vector<net::DeviceId> filtered_devices(const DeviceFilter& filter) const;
@@ -118,6 +136,7 @@ class CoverageEngine {
 
   const net::Network& network_;
   const ResourceBudget* budget_;
+  unsigned threads_;
   dataplane::MatchSetIndex index_;
   dataplane::Transfer transfer_;
   coverage::CoveredSets covered_;

@@ -1,10 +1,23 @@
 #include "yardstick/json.hpp"
 
+#include <cmath>
 #include <sstream>
 
 namespace yardstick::ys {
 
 namespace {
+
+/// JSON has no NaN/Infinity literals; a metric that degraded to a
+/// non-finite value (e.g. under a tripped budget) serializes as 0 so the
+/// document stays parseable — the truncated flag tells readers the row is
+/// partial.
+void finite(std::ostringstream& out, double v) {
+  if (std::isfinite(v)) {
+    out << v;
+  } else {
+    out << 0;
+  }
+}
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 std::string escape(const std::string& s) {
@@ -30,10 +43,15 @@ std::string escape(const std::string& s) {
 }
 
 void metric_row(std::ostringstream& out, const MetricRow& m) {
-  out << "{\"device_fractional\":" << m.device_fractional
-      << ",\"interface_fractional\":" << m.interface_fractional
-      << ",\"rule_fractional\":" << m.rule_fractional
-      << ",\"rule_weighted\":" << m.rule_weighted << "}";
+  out << "{\"device_fractional\":";
+  finite(out, m.device_fractional);
+  out << ",\"interface_fractional\":";
+  finite(out, m.interface_fractional);
+  out << ",\"rule_fractional\":";
+  finite(out, m.rule_fractional);
+  out << ",\"rule_weighted\":";
+  finite(out, m.rule_weighted);
+  out << "}";
 }
 
 }  // namespace

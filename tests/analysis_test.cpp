@@ -122,6 +122,36 @@ TEST_F(AnalysisTest, RealSuiteContributions) {
   EXPECT_GT(analysis.full, analysis.tests[1].solo);
 }
 
+TEST_F(AnalysisTest, BudgetedAnalysisClampsMarginalsAndFlagsTruncation) {
+  // Regression: under a tripping budget the leave-one-out run can cover
+  // more than the (degraded) full-suite run, which used to produce
+  // negative marginals. Marginals must clamp at 0 and the analysis must
+  // carry the truncated flag instead of throwing.
+  topo::FatTree tree = topo::make_fat_tree({.k = 4});
+  routing::FibBuilder::compute_and_build(tree.network, tree.routing);
+  bdd::BddManager mgr(packet::kNumHeaderBits);
+  const dataplane::MatchSetIndex index(mgr, tree.network);
+  const dataplane::Transfer transfer(index);
+
+  nettest::TestSuite suite("budgeted");
+  suite.add(std::make_unique<nettest::DefaultRouteCheck>());
+  suite.add(std::make_unique<nettest::ToRContract>());
+
+  ResourceBudget budget;
+  // The unbudgeted index above already allocated well past this cap, so
+  // every analyzer-internal covered-set computation degrades.
+  budget.with_max_bdd_nodes(1000);
+  const SuiteAnalyzer analyzer(mgr, tree.network, &budget);
+  const SuiteAnalysis analysis = analyzer.analyze(transfer, suite);
+
+  EXPECT_TRUE(analysis.truncated);
+  ASSERT_EQ(analysis.tests.size(), 2u);
+  for (const TestContribution& t : analysis.tests) {
+    EXPECT_GE(t.marginal, 0.0) << t.name;
+    EXPECT_GE(t.solo, 0.0) << t.name;
+  }
+}
+
 TEST_F(AnalysisTest, SuggestionsExerciseUntestedRules) {
   CoverageTracker tracker;
   tracker.mark_rule(tiny_.l1_to_p1);

@@ -126,6 +126,26 @@ INSTANTIATE_TEST_SUITE_P(Shapes, RegionalSweep,
                                            RegionalCase{2, 1, 2, 1, 2, 2, 2},
                                            RegionalCase{3, 2, 2, 2, 2, 3, 2}));
 
+TEST(PathDeadlineTest, TightDeadlineTruncatesSweep) {
+  // Regression: the sweep deadline used to be checked only every 1024
+  // emitted paths, so a sweep stuck inside one huge DFS subtree could blow
+  // far past its budget. The deadline is now gated per DFS node: an
+  // already-expired deadline must stop the sweep almost immediately.
+  topo::FatTree tree = topo::make_fat_tree({.k = 4});
+  routing::FibBuilder::compute_and_build(tree.network, tree.routing);
+  bdd::BddManager mgr(packet::kNumHeaderBits);
+  ys::CoverageTracker tracker;
+  const ys::CoverageEngine engine(mgr, tree.network, tracker.trace());
+
+  const ys::PathCoverageResult unbounded = engine.path_coverage();
+  ASSERT_GT(unbounded.total_paths, 0u);
+  EXPECT_FALSE(unbounded.truncated);
+
+  const ys::PathCoverageResult tight = engine.path_coverage({}, 1e-9);
+  EXPECT_TRUE(tight.truncated);
+  EXPECT_LT(tight.total_paths, unbounded.total_paths);
+}
+
 TEST(LinkFailureTest, TrafficRoutesAroundFailedLink) {
   topo::FatTree tree = topo::make_fat_tree({.k = 4});
   // Fail one ToR-agg link: the ToR still reaches everything via its other

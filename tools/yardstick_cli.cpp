@@ -15,6 +15,7 @@
 //   2 usage error               6 resource budget exceeded
 //   3 invalid input             7 cancelled
 //                              10 internal error
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -57,6 +58,7 @@ struct CliOptions {
   std::optional<std::string> load_trace;
   double deadline_s = 0.0;       // 0 = unlimited
   size_t max_bdd_nodes = 0;      // 0 = unlimited
+  unsigned threads = 0;          // offline-phase workers; 0 = all hardware threads
 };
 
 int usage(const char* argv0) {
@@ -75,7 +77,9 @@ int usage(const char* argv0) {
                "  --save-trace FILE    persist the coverage trace\n"
                "  --load-trace FILE    skip testing; compute metrics from FILE\n"
                "  --deadline SECONDS   overall wall-clock budget (partial results)\n"
-               "  --max-bdd-nodes N    cap BDD arena size (partial results)\n",
+               "  --max-bdd-nodes N    cap BDD arena size (partial results)\n"
+               "  --threads N          offline-phase worker threads (default: all\n"
+               "                       hardware threads; results are identical)\n",
                argv0);
   return 2;
 }
@@ -140,6 +144,10 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       int n = 0;
       if (!next_int(n)) return std::nullopt;
       opts.max_bdd_nodes = static_cast<size_t>(n);
+    } else if (arg == "--threads") {
+      int n = 0;
+      if (!next_int(n)) return std::nullopt;
+      opts.threads = static_cast<unsigned>(n);
     } else {
       return std::nullopt;
     }
@@ -248,8 +256,11 @@ int run(const CliOptions& opts) {
       }
     }
     if (opts.analyze && !opts.json) {
-      const ys::SuiteAnalyzer analyzer(mgr, *network);
+      const ys::SuiteAnalyzer analyzer(mgr, *network, budgeted ? &budget : nullptr);
       const ys::SuiteAnalysis analysis = analyzer.analyze(transfer, suite);
+      if (analysis.truncated) {
+        std::fprintf(stderr, "warning: budget exhausted; suite analysis is partial\n");
+      }
       std::printf("\nsuite analysis (fractional rule coverage):\n");
       for (const auto& t : analysis.tests) {
         std::printf("  %-24s solo %6.1f%%  marginal %6.1f%%  %s\n", t.name.c_str(),
@@ -259,8 +270,9 @@ int run(const CliOptions& opts) {
     }
   }
 
-  const ys::CoverageEngine engine(mgr, *network, tracker.trace(),
-                                  budgeted ? &budget : nullptr);
+  const ys::CoverageEngine engine(
+      mgr, *network, tracker.trace(),
+      ys::EngineOptions{budgeted ? &budget : nullptr, opts.threads});
   const ys::CoverageReport report = engine.report();
   if (report.truncated && !opts.json) {
     std::fprintf(stderr, "warning: budget exhausted; coverage results are partial\n");
@@ -275,10 +287,12 @@ int run(const CliOptions& opts) {
   if (opts.paths) {
     const ys::PathCoverageResult paths = engine.path_coverage({}, opts.path_budget_s);
     if (opts.json) {
+      // JSON has no NaN/Infinity literals; a degraded ratio prints as 0.
+      const double fractional = std::isfinite(paths.fractional) ? paths.fractional : 0.0;
       std::printf(",\"paths\":{\"total\":%llu,\"covered\":%llu,\"fractional\":%f,"
                   "\"truncated\":%s}",
                   static_cast<unsigned long long>(paths.total_paths),
-                  static_cast<unsigned long long>(paths.covered_paths), paths.fractional,
+                  static_cast<unsigned long long>(paths.covered_paths), fractional,
                   paths.truncated ? "true" : "false");
     } else {
       std::printf("path coverage: %llu/%llu covered (%.1f%%)%s\n",
