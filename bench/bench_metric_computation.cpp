@@ -10,11 +10,14 @@
 // path coverage orders of magnitude more expensive and hitting its
 // wall-clock budget (the paper's 1-hour timeout, here YS_PATH_BUDGET_S,
 // default 60s) on larger topologies.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <thread>
 
 #include "bench_util.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "nettest/contract_checks.hpp"
 #include "nettest/reachability.hpp"
 #include "nettest/state_checks.hpp"
@@ -89,6 +92,11 @@ int main() {
     std::printf("%6d %8zu %12.3f %12.3f %12.3f %12.3f %14.3f %16s\n", k,
                 tree.network.device_count(), device_s, iface_s, rule_s, all_local_s,
                 path_s, path_note);
+    // Per-phase breakdown from the engine's own phase timers (not the
+    // ad-hoc stopwatches above, which also bill engine construction).
+    char klabel[16];
+    std::snprintf(klabel, sizeof(klabel), "k=%d", k);
+    benchutil::print_phase_breakdown(klabel, engine.timings(), paths.seconds);
   }
 
   // Tentpole comparison: the offline phase (match sets + covered sets +
@@ -227,5 +235,61 @@ int main() {
                 static_cast<unsigned long long>(naive_covered),
                 streamed_covered == naive_covered ? "yes" : "NO");
   }
-  return 0;
+
+  // Observability overhead budget (DESIGN.md §9): the instrumented offline
+  // phase + all-local metrics, observability off vs on, must stay within
+  // 3%. Median of several repetitions absorbs scheduler noise; a breach
+  // fails the bench (nonzero exit) so regressions cannot land silently.
+  int exit_code = 0;
+  {
+    const int k = benchutil::fat_tree_sweep().front();
+    topo::FatTree tree = topo::make_fat_tree({.k = k});
+    routing::FibBuilder::compute_and_build(tree.network, tree.routing);
+    bdd::BddManager trace_mgr(packet::kNumHeaderBits);
+    ys::CoverageTracker tracker;
+    {
+      const dataplane::MatchSetIndex match_sets(trace_mgr, tree.network);
+      const dataplane::Transfer transfer(match_sets);
+      nettest::TestSuite suite("fig9");
+      suite.add(std::make_unique<nettest::DefaultRouteCheck>());
+      suite.add(std::make_unique<nettest::ToRContract>());
+      suite.add(std::make_unique<nettest::ToRPingmesh>());
+      (void)suite.run_all(transfer, tracker);
+    }
+
+    const auto run_once = [&] {
+      bdd::BddManager m(packet::kNumHeaderBits);
+      const coverage::CoverageTrace local_trace = tracker.trace().imported_into(m);
+      benchutil::Stopwatch watch;
+      const ys::CoverageEngine engine(m, tree.network, local_trace);
+      (void)engine.devices_coverage(coverage::fractional_aggregator());
+      (void)engine.interfaces_coverage(coverage::fractional_aggregator());
+      (void)engine.rules_coverage(coverage::fractional_aggregator());
+      return watch.seconds();
+    };
+    const auto median_of = [&](int reps) {
+      std::vector<double> samples;
+      samples.reserve(reps);
+      for (int i = 0; i < reps; ++i) samples.push_back(run_once());
+      std::sort(samples.begin(), samples.end());
+      return samples[samples.size() / 2];
+    };
+
+    constexpr int kReps = 7;
+    obs::set_enabled(false);
+    const double off_s = median_of(kReps);
+    obs::set_enabled(true);
+    const double on_s = median_of(kReps);
+    obs::Tracer::global().clear();  // bound the buffers for repeated runs
+    obs::set_enabled(false);
+
+    const double overhead_pct = off_s > 0.0 ? (on_s / off_s - 1.0) * 100.0 : 0.0;
+    const bool within_budget = overhead_pct < 3.0;
+    std::printf("\n# observability overhead (k=%d, offline phase + all-local metrics, "
+                "median of %d): off %.3fs, on %.3fs, overhead %+.2f%% — "
+                "within <3%% budget: %s\n",
+                k, kReps, off_s, on_s, overhead_pct, within_budget ? "yes" : "NO");
+    if (!within_budget) exit_code = 1;
+  }
+  return exit_code;
 }

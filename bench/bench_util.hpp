@@ -8,20 +8,48 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "yardstick/report.hpp"
+
 namespace yardstick::benchutil {
 
+/// Monotonic stopwatch on std::chrono::steady_clock — immune to NTP slews
+/// and wall-clock jumps, so bench numbers stay comparable across runs.
 class Stopwatch {
  public:
-  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady, "bench timings require a monotonic clock");
+
+  Stopwatch() : start_(Clock::now()) {}
   [[nodiscard]] double seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
-        .count();
+    return std::chrono::duration<double>(Clock::now() - start_).count();
   }
-  void reset() { start_ = std::chrono::steady_clock::now(); }
+  void reset() { start_ = Clock::now(); }
 
  private:
-  std::chrono::steady_clock::time_point start_;
+  Clock::time_point start_;
 };
+
+/// Per-phase breakdown for one engine run: the engine's own steady-clock
+/// phase timers (always measured), plus — when the observability switch is
+/// on — the matching work counters from the metrics registry, replacing
+/// the ad-hoc end-to-end stopwatch as the source of per-phase numbers.
+inline void print_phase_breakdown(const char* label, const ys::PhaseTimings& timings,
+                                  double path_sweep_seconds = 0.0) {
+  std::printf("#   %-14s match-sets %.3fs  covered-sets %.3fs", label,
+              timings.match_sets_seconds, timings.covered_sets_seconds);
+  if (path_sweep_seconds > 0.0) std::printf("  path-sweep %.3fs", path_sweep_seconds);
+  if (obs::enabled()) {
+    std::printf("  (dfs-nodes %llu, paths %llu, imported-nodes %llu)",
+                static_cast<unsigned long long>(
+                    obs::metrics().counter("ys.paths.dfs_nodes").value()),
+                static_cast<unsigned long long>(
+                    obs::metrics().counter("ys.paths.emitted").value()),
+                static_cast<unsigned long long>(
+                    obs::metrics().counter("ys.bdd.imported_nodes").value()));
+  }
+  std::printf("\n");
+}
 
 /// Fat-tree arities to sweep: from YS_FATTREE_KS ("4 8 12"), else default.
 /// The paper sweeps k=8..88 (up to 9680 routers, §8); defaults here keep

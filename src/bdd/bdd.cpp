@@ -109,6 +109,7 @@ uint64_t BddManager::hash_triple(Var v, NodeIndex lo, NodeIndex hi) {
 }
 
 void BddManager::grow_unique_table() {
+  ++table_growths_;
   const size_t new_capacity = unique_table_.size() * 2;
   std::vector<uint32_t> fresh(new_capacity, kEmptySlot);
   const uint64_t mask = new_capacity - 1;

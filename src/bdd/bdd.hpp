@@ -149,6 +149,27 @@ class BddManager {
   };
   [[nodiscard]] CacheStats cache_stats() const { return cache_stats_; }
 
+  /// Aggregate engine statistics for the observability layer. Maintained
+  /// with plain (non-atomic) members — a manager is single-threaded — and
+  /// sampled into the obs metrics registry at phase boundaries, so the
+  /// BDD hot path carries zero instrumentation cost. There is no garbage
+  /// collector in this engine (see header comment); unique-table growth
+  /// events are the analogous "arena pressure" signal.
+  struct Stats {
+    size_t arena_nodes = 0;          ///< total nodes ever allocated
+    uint64_t cache_hits = 0;         ///< apply-cache hits
+    uint64_t cache_misses = 0;       ///< apply-cache misses
+    uint64_t unique_table_growths = 0;  ///< rehash/double events
+    /// Hit fraction in [0,1]; 0 when no lookups happened yet.
+    [[nodiscard]] double cache_hit_rate() const {
+      const uint64_t total = cache_hits + cache_misses;
+      return total == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(total);
+    }
+  };
+  [[nodiscard]] Stats stats() const {
+    return {nodes_.size(), cache_stats_.hits, cache_stats_.misses, table_growths_};
+  }
+
   /// Disable the apply cache (ablation only; quadratic blow-ups expected).
   void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
 
@@ -207,6 +228,7 @@ class BddManager {
   uint64_t op_cache_mask_ = 0;
   bool cache_enabled_ = true;
   CacheStats cache_stats_;
+  uint64_t table_growths_ = 0;
   const ys::ResourceBudget* budget_ = nullptr;
   // Nodes this manager has charged against budget_ (released on detach).
   size_t charged_nodes_ = 0;
@@ -242,6 +264,10 @@ class BddImporter {
   /// invalid handles pass through unchanged.
   [[nodiscard]] Bdd import(const Bdd& f);
   [[nodiscard]] NodeIndex import_index(NodeIndex root);
+
+  /// Distinct source nodes copied so far (shared subgraphs count once) —
+  /// the cross-manager import volume the observability layer reports.
+  [[nodiscard]] size_t imported_nodes() const { return memo_.size(); }
 
   [[nodiscard]] BddManager& destination() const { return dst_; }
   [[nodiscard]] const BddManager& source() const { return src_; }

@@ -13,7 +13,22 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace yardstick::ys {
+
+/// Per-worker queue occupancy for every parallel phase: how many work
+/// items (devices, ingress ports, ...) each worker drained. A skewed
+/// distribution here is the first thing to look at when a parallel run
+/// does not speed up. The handle is cached — registration is cold-path.
+[[nodiscard]] inline obs::Histogram& worker_items_histogram() {
+  static obs::Histogram& h = obs::metrics().histogram(
+      "ys.parallel.items_per_worker",
+      {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384},
+      "work items drained per worker per parallel phase");
+  return h;
+}
 
 /// Resolve a requested worker count: 0 = one per hardware thread, always
 /// at least 1, never more than the number of work items.
@@ -39,6 +54,8 @@ inline void run_workers(unsigned workers, const std::function<void(unsigned)>& f
   pool.reserve(workers);
   for (unsigned w = 0; w < workers; ++w) {
     pool.emplace_back([&fn, &errors, w] {
+      obs::Span span("parallel.worker", "parallel");
+      span.arg("worker", w);
       try {
         fn(w);
       } catch (...) {

@@ -3,6 +3,8 @@
 #include <memory>
 
 #include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace yardstick::coverage {
 
@@ -70,12 +72,16 @@ void cover_device(bdd::BddManager& mgr, const dataplane::MatchSetIndex& index,
 CoveredSets::CoveredSets(const dataplane::MatchSetIndex& index, const CoverageTrace& trace,
                          const ys::ResourceBudget* budget, unsigned threads)
     : index_(index), trace_(trace), truncated_(index.truncated()) {
+  obs::Span build_span("covered_sets.build", "offline");
   bdd::BddManager& mgr = index.manager();
   const net::Network& network = index.network();
   covered_.resize(network.rule_count());
 
   const std::vector<net::Device>& devices = network.devices();
   const unsigned workers = ys::resolve_threads(threads, devices.size());
+  build_span.arg("devices", devices.size());
+  build_span.arg("rules", network.rule_count());
+  build_span.arg("workers", workers);
 
   if (workers <= 1) {
     const auto identity = [](const PacketSet& ps) -> const PacketSet& { return ps; };
@@ -117,6 +123,13 @@ CoveredSets::CoveredSets(const dataplane::MatchSetIndex& index, const CoverageTr
       }
     });
 
+    // Queue occupancy: worker w owns the devices ≡ w (mod workers).
+    for (unsigned w = 0; w < workers; ++w) {
+      ys::worker_items_histogram().observe(
+          static_cast<double>((devices.size() - w + workers - 1) / workers));
+    }
+
+    obs::Span merge_span("covered_sets.merge", "offline");
     std::vector<std::unique_ptr<bdd::BddImporter>> importers;
     importers.reserve(workers);
     for (CoverShard& shard : shards) {
@@ -142,8 +155,20 @@ CoveredSets::CoveredSets(const dataplane::MatchSetIndex& index, const CoverageTr
       if (!ys::is_resource_exhaustion(e.code())) throw;
       truncated_ = true;
     }
+    if (obs::enabled()) {
+      static obs::Counter& imported = obs::metrics().counter(
+          "ys.bdd.imported_nodes", "nodes copied across BDD managers");
+      size_t total = 0;
+      for (const auto& imp : importers) total += imp->imported_nodes();
+      imported.add(total);
+    }
     // Release the shards' node accounting before their managers die.
     for (CoverShard& shard : shards) shard.mgr->set_budget(nullptr);
+  }
+  if (obs::enabled()) {
+    static obs::Counter& covered_rules = obs::metrics().counter(
+        "ys.covered_sets.rules_computed", "rules given covered sets T[r] (Algorithm 1)");
+    covered_rules.add(network.rule_count());
   }
 
   // Degraded completion: rules never reached get empty (terminal-only)
@@ -157,10 +182,16 @@ CoveredSets::CoveredSets(const dataplane::MatchSetIndex& index, const CoverageTr
 
 CoveredSets::CoveredSets(const dataplane::MatchSetIndex& index, const CoveredSets& other)
     : index_(index), trace_(other.trace_), truncated_(other.truncated_) {
+  obs::Span span("covered_sets.clone", "offline");
   bdd::BddImporter imp(index.manager(), other.manager());
   covered_.reserve(other.covered_.size());
   for (const PacketSet& ps : other.covered_) {
     covered_.push_back(ps.valid() ? PacketSet(imp.import(ps.raw())) : PacketSet{});
+  }
+  if (obs::enabled()) {
+    obs::metrics()
+        .counter("ys.bdd.imported_nodes", "nodes copied across BDD managers")
+        .add(imp.imported_nodes());
   }
 }
 

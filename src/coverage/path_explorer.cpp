@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/fault.hpp"
+#include "obs/metrics.hpp"
 
 namespace yardstick::coverage {
 
@@ -17,6 +18,10 @@ struct PathExplorer::DfsState {
   packet::LocationId origin = packet::kNoLocation;
   const std::function<bool(const ExploredPath&)>* visit = nullptr;
   uint64_t emitted = 0;
+  /// DFS node expansions, accumulated locally and flushed to the metrics
+  /// registry once per explore() — per-node atomic increments would
+  /// contend across sweep workers (DESIGN.md §9 batch-flush rule).
+  uint64_t dfs_nodes = 0;
 };
 
 bool PathExplorer::emit(DfsState& state, const PacketSet& final_set, double ratio,
@@ -46,6 +51,7 @@ bool PathExplorer::emit(DfsState& state, const PacketSet& final_set, double rati
 bool PathExplorer::dfs(DfsState& state, net::DeviceId device,
                        net::InterfaceId in_interface, const PacketSet& flowing,
                        const PacketSet& survivors, double min_ratio, int depth) const {
+  ++state.dfs_nodes;
   if (fault::active()) fault::fire("path.dfs");
   // Cooperative budget gate: a tripped deadline/cancel (budget- or
   // explorer-level) terminates the in-flight path as BudgetExceeded
@@ -178,6 +184,14 @@ uint64_t PathExplorer::explore(net::DeviceId device, net::InterfaceId in_interfa
   state.origin = in_interface.valid() ? net::to_location(in_interface)
                                       : net::device_location(device);
   dfs(state, device, in_interface, headers, headers, 1.0, 0);
+  if (obs::enabled()) {
+    static obs::Counter& emitted =
+        obs::metrics().counter("ys.paths.emitted", "paths emitted by the universe DFS");
+    static obs::Counter& nodes = obs::metrics().counter(
+        "ys.paths.dfs_nodes", "DFS node expansions in the path universe");
+    emitted.add(state.emitted);
+    nodes.add(state.dfs_nodes);
+  }
   return state.emitted;
 }
 

@@ -3,6 +3,8 @@
 #include <memory>
 
 #include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace yardstick::dataplane {
 
@@ -81,6 +83,7 @@ struct BuildShard {
 MatchSetIndex::MatchSetIndex(bdd::BddManager& mgr, const net::Network& network,
                              const ys::ResourceBudget* budget, unsigned threads)
     : mgr_(mgr), network_(network) {
+  obs::Span build_span("match_sets.build", "offline");
   const size_t num_rules = network.rule_count();
   match_fields_.resize(num_rules);
   match_sets_.resize(num_rules);
@@ -89,6 +92,9 @@ MatchSetIndex::MatchSetIndex(bdd::BddManager& mgr, const net::Network& network,
 
   const std::vector<net::Device>& devices = network.devices();
   const unsigned workers = ys::resolve_threads(threads, devices.size());
+  build_span.arg("devices", devices.size());
+  build_span.arg("rules", num_rules);
+  build_span.arg("workers", workers);
 
   if (workers <= 1) {
     try {
@@ -131,6 +137,13 @@ MatchSetIndex::MatchSetIndex(bdd::BddManager& mgr, const net::Network& network,
       }
     });
 
+    // Queue occupancy: worker w owns the devices ≡ w (mod workers).
+    for (unsigned w = 0; w < workers; ++w) {
+      ys::worker_items_histogram().observe(
+          static_cast<double>((devices.size() - w + workers - 1) / workers));
+    }
+
+    obs::Span merge_span("match_sets.merge", "offline");
     std::vector<std::unique_ptr<bdd::BddImporter>> importers;
     importers.reserve(workers);
     for (BuildShard& shard : shards) {
@@ -158,8 +171,23 @@ MatchSetIndex::MatchSetIndex(bdd::BddManager& mgr, const net::Network& network,
       if (!ys::is_resource_exhaustion(e.code())) throw;
       truncated_ = true;
     }
+    if (obs::enabled()) {
+      static obs::Counter& imported = obs::metrics().counter(
+          "ys.bdd.imported_nodes", "nodes copied across BDD managers");
+      size_t total = 0;
+      for (const auto& imp : importers) total += imp->imported_nodes();
+      imported.add(total);
+    }
     // Release the shards' node accounting before their managers die.
     for (BuildShard& shard : shards) shard.mgr->set_budget(nullptr);
+  }
+  if (obs::enabled()) {
+    static obs::Counter& built_devices = obs::metrics().counter(
+        "ys.match_sets.devices_built", "devices whose tables were walked (step 1)");
+    static obs::Counter& built_rules = obs::metrics().counter(
+        "ys.match_sets.rules_built", "rules given disjoint match sets (step 1)");
+    built_devices.add(devices.size());
+    built_rules.add(num_rules);
   }
 
   // Degraded completion: rules/devices never reached get well-formed empty
@@ -183,6 +211,7 @@ MatchSetIndex::MatchSetIndex(bdd::BddManager& mgr, const net::Network& network,
 
 MatchSetIndex::MatchSetIndex(bdd::BddManager& dst, const MatchSetIndex& other)
     : mgr_(dst), network_(other.network_), truncated_(other.truncated_) {
+  obs::Span span("match_sets.clone", "offline");
   bdd::BddImporter imp(dst, other.mgr_);
   const auto clone_all = [&imp](const std::vector<PacketSet>& src,
                                 std::vector<PacketSet>& out) {
@@ -195,6 +224,11 @@ MatchSetIndex::MatchSetIndex(bdd::BddManager& dst, const MatchSetIndex& other)
   clone_all(other.match_sets_, match_sets_);
   clone_all(other.matched_space_, matched_space_);
   clone_all(other.acl_permitted_, acl_permitted_);
+  if (obs::enabled()) {
+    obs::metrics()
+        .counter("ys.bdd.imported_nodes", "nodes copied across BDD managers")
+        .add(imp.imported_nodes());
+  }
 }
 
 }  // namespace yardstick::dataplane

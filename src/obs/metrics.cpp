@@ -1,0 +1,203 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+namespace yardstick::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// JSON/Prometheus share the non-finite contract with yardstick/json.cpp:
+/// a degraded value serializes as 0, never as nan/inf tokens.
+void print_double(std::ostringstream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << 0;
+    return;
+  }
+  // Round-trippable without scientific-notation surprises for the
+  // magnitudes metrics take (counts, seconds, ratios).
+  std::ostringstream tmp;
+  tmp.precision(15);
+  tmp << v;
+  out << tmp.str();
+}
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  std::replace(out.begin(), out.end(), '.', '_');
+  return out;
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  // Ordered maps give deterministic (name-sorted) exposition for free.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+
+  void check_unique(const std::string& name, const char* wanted) const {
+    const bool taken = (wanted[0] != 'c' && counters.count(name) != 0) ||
+                       (wanted[0] != 'g' && gauges.count(name) != 0) ||
+                       (wanted[0] != 'h' && histograms.count(name) != 0);
+    if (taken) {
+      throw std::logic_error("metric '" + name + "' already registered as another type");
+    }
+  }
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(std::make_unique<Impl>()) {}
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked on purpose: worker threads and static destructors may touch
+  // metrics during shutdown; a never-destroyed registry cannot dangle.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->counters.find(name);
+  if (it == impl_->counters.end()) {
+    impl_->check_unique(name, "counter");
+    it = impl_->counters.emplace(name, std::unique_ptr<Counter>(new Counter(name, help)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->gauges.find(name);
+  if (it == impl_->gauges.end()) {
+    impl_->check_unique(name, "gauge");
+    it = impl_->gauges.emplace(name, std::unique_ptr<Gauge>(new Gauge(name, help))).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<double> bounds,
+                                      const std::string& help) {
+  std::sort(bounds.begin(), bounds.end());
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->histograms.find(name);
+  if (it == impl_->histograms.end()) {
+    impl_->check_unique(name, "histogram");
+    it = impl_->histograms
+             .emplace(name, std::unique_ptr<Histogram>(
+                                new Histogram(name, help, std::move(bounds))))
+             .first;
+  } else if (it->second->bounds() != bounds) {
+    throw std::logic_error("histogram '" + name + "' re-registered with different buckets");
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, c] : impl_->counters) c->value_.store(0, std::memory_order_relaxed);
+  for (auto& [name, g] : impl_->gauges) g->value_.store(0.0, std::memory_order_relaxed);
+  for (auto& [name, h] : impl_->histograms) {
+    for (auto& b : h->buckets_) b.store(0, std::memory_order_relaxed);
+    h->sum_.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::ostringstream out;
+  out << "{\"metrics\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+  };
+  for (const auto& [name, c] : impl_->counters) {
+    sep();
+    out << "{\"name\":\"" << name << "\",\"type\":\"counter\",\"value\":" << c->value()
+        << "}";
+  }
+  for (const auto& [name, g] : impl_->gauges) {
+    sep();
+    out << "{\"name\":\"" << name << "\",\"type\":\"gauge\",\"value\":";
+    print_double(out, g->value());
+    out << "}";
+  }
+  for (const auto& [name, h] : impl_->histograms) {
+    sep();
+    out << "{\"name\":\"" << name << "\",\"type\":\"histogram\",\"count\":" << h->count()
+        << ",\"sum\":";
+    print_double(out, h->sum());
+    out << ",\"buckets\":[";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i <= h->bounds().size(); ++i) {
+      cumulative += h->bucket(i);
+      if (i) out << ",";
+      out << "{\"le\":";
+      if (i < h->bounds().size()) {
+        print_double(out, h->bounds()[i]);
+      } else {
+        out << "\"+Inf\"";
+      }
+      out << ",\"count\":" << cumulative << "}";
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::ostringstream out;
+  const auto header = [&](const std::string& name, const std::string& help,
+                          const char* type) {
+    if (!help.empty()) out << "# HELP " << name << " " << help << "\n";
+    out << "# TYPE " << name << " " << type << "\n";
+  };
+  for (const auto& [name, c] : impl_->counters) {
+    const std::string pname = prometheus_name(name);
+    header(pname, c->help(), "counter");
+    out << pname << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : impl_->gauges) {
+    const std::string pname = prometheus_name(name);
+    header(pname, g->help(), "gauge");
+    out << pname << " ";
+    print_double(out, g->value());
+    out << "\n";
+  }
+  for (const auto& [name, h] : impl_->histograms) {
+    const std::string pname = prometheus_name(name);
+    header(pname, h->help(), "histogram");
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i <= h->bounds().size(); ++i) {
+      cumulative += h->bucket(i);
+      out << pname << "_bucket{le=\"";
+      if (i < h->bounds().size()) {
+        print_double(out, h->bounds()[i]);
+      } else {
+        out << "+Inf";
+      }
+      out << "\"} " << cumulative << "\n";
+    }
+    out << pname << "_sum ";
+    print_double(out, h->sum());
+    out << "\n";
+    out << pname << "_count " << h->count() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace yardstick::obs

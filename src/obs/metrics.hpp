@@ -1,0 +1,161 @@
+// Low-overhead engine metrics: counters, gauges and fixed-bucket
+// histograms behind one process-wide registry.
+//
+// Design constraints (DESIGN.md §9):
+//   * Hot-path updates are a relaxed atomic op guarded by one relaxed
+//     enabled-flag load — no locks, no allocation, no syscalls. With
+//     observability disabled (the default) every update is a predictable
+//     load-and-branch, measured < 3% overhead even when enabled
+//     (bench_metric_computation, BENCH_observability.json).
+//   * Registration (name → handle) is the cold path: it takes a mutex and
+//     may allocate. Callers on hot paths cache the returned reference —
+//     handles are stable for the life of the process because the registry
+//     never deallocates a metric (reset_values() zeroes, never removes).
+//   * Sharded workers update the same atomics; counters are exact under
+//     concurrency, histograms are exact per bucket (sum uses a CAS loop).
+//
+// Naming scheme: `ys.<module>.<noun>[_<unit>]`, e.g. `ys.bdd.arena_nodes`,
+// `ys.paths.emitted`. Prometheus exposition maps '.' → '_'.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace yardstick::obs {
+
+/// Process-wide observability switch shared by the metrics registry and
+/// the tracer. Off by default; the CLI flips it on for --trace-out /
+/// --metrics-out runs, tests and benches flip it directly.
+[[nodiscard]] bool enabled();
+void set_enabled(bool on);
+
+/// Monotonically increasing event count. Exact under concurrent add().
+class Counter {
+ public:
+  void add(uint64_t n = 1) {
+    if (!enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& help() const { return help_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+  const std::string name_;
+  const std::string help_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins sampled value (arena sizes, budget consumption, …).
+class Gauge {
+ public:
+  void set(double v) {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& help() const { return help_; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+  const std::string name_;
+  const std::string help_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram (Prometheus-style cumulative exposition). The
+/// bucket upper bounds are set at registration and never change; an
+/// implicit +Inf bucket catches the overflow. observe() touches exactly
+/// one bucket counter plus the sum — no locks.
+class Histogram {
+ public:
+  void observe(double v) {
+    if (!enabled()) return;
+    size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    // CAS add keeps the sum exact for integral observations and portable
+    // (atomic<double>::fetch_add is not universally available).
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+  }
+  /// Total observations (all buckets including +Inf).
+  [[nodiscard]] uint64_t count() const {
+    uint64_t total = 0;
+    for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+    return total;
+  }
+  [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Raw (non-cumulative) count of bucket i; index bounds().size() is +Inf.
+  [[nodiscard]] uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& help() const { return help_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::string help, std::vector<double> bounds)
+      : name_(std::move(name)),
+        help_(std::move(help)),
+        bounds_(std::move(bounds)),
+        buckets_(bounds_.size() + 1) {}
+  const std::string name_;
+  const std::string help_;
+  const std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<double> sum_{0.0};
+};
+
+/// Get-or-create registry. Metrics live for the whole process; handles
+/// returned here never dangle and may be cached in function-local statics
+/// on hot paths.
+class MetricsRegistry {
+ public:
+  /// The registry every ys_* library reports into.
+  static MetricsRegistry& global();
+
+  /// Get-or-create. Throws std::logic_error if `name` is already
+  /// registered as a different metric type (or, for histograms, with
+  /// different bucket bounds).
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = "");
+
+  /// Zero every counter/gauge/histogram, keeping registrations (and
+  /// therefore cached handles) valid. For tests and repeated bench runs.
+  void reset_values();
+
+  /// JSON exposition: {"metrics":[{name,type,value|buckets,...},...]},
+  /// sorted by name. Non-finite gauge values serialize as 0 (the repo-wide
+  /// JSON contract; see yardstick/json.cpp).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Prometheus text exposition format, sorted by name: '.' in metric
+  /// names maps to '_'; histograms expose cumulative _bucket{le=...},
+  /// _sum and _count series.
+  [[nodiscard]] std::string to_prometheus() const;
+
+ private:
+  struct Impl;
+  MetricsRegistry();
+  ~MetricsRegistry();
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Shorthand for MetricsRegistry::global().
+[[nodiscard]] inline MetricsRegistry& metrics() { return MetricsRegistry::global(); }
+
+}  // namespace yardstick::obs

@@ -1,0 +1,146 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace yardstick::obs {
+
+namespace {
+
+/// Per-thread event buffer. The owning thread appends; to_chrome_json /
+/// snapshot readers take the same mutex, so a trace can be rendered while
+/// stray threads still record (they just miss in-flight events). Buffers
+/// are owned by the tracer and outlive their threads — the worker pool
+/// creates and joins threads per phase.
+struct EventBuffer {
+  uint32_t tid = 0;
+  mutable std::mutex mu;
+  std::vector<TraceEvent> events;
+};
+
+/// Memory bound: one phase-level trace is thousands of events at most;
+/// a runaway caller hits the cap and drops instead of exhausting memory.
+constexpr size_t kMaxEventsPerThread = 1 << 20;
+
+}  // namespace
+
+struct Tracer::Impl {
+  std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  std::mutex registry_mu;
+  std::vector<std::unique_ptr<EventBuffer>> buffers;
+  std::atomic<uint32_t> next_tid{1};
+  std::atomic<uint64_t> dropped{0};
+
+  EventBuffer& buffer_for_this_thread() {
+    thread_local EventBuffer* cached = nullptr;
+    thread_local const Impl* cached_owner = nullptr;
+    if (cached == nullptr || cached_owner != this) {
+      auto owned = std::make_unique<EventBuffer>();
+      owned->tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+      cached = owned.get();
+      cached_owner = this;
+      std::lock_guard<std::mutex> lock(registry_mu);
+      buffers.push_back(std::move(owned));
+    }
+    return *cached;
+  }
+};
+
+Tracer::Tracer() : impl_(new Impl()) {}
+Tracer::~Tracer() { delete impl_; }
+
+Tracer& Tracer::global() {
+  // Leaked on purpose, like the metrics registry: thread_local buffer
+  // pointers and late spans must never observe a destroyed tracer.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+uint64_t Tracer::now_us() const {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - impl_->epoch)
+                                   .count());
+}
+
+void Tracer::record(const TraceEvent& event) {
+  if (!enabled()) return;
+  EventBuffer& buf = impl_->buffer_for_this_thread();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    impl_->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent copy = event;
+  copy.tid = buf.tid;
+  buf.events.push_back(copy);
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(impl_->registry_mu);
+  size_t total = 0;
+  for (const auto& buf : impl_->buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    total += buf->events.size();
+  }
+  return total;
+}
+
+uint64_t Tracer::dropped_count() const {
+  return impl_->dropped.load(std::memory_order_relaxed);
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(impl_->registry_mu);
+  for (const auto& buf : impl_->buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+  }
+  impl_->dropped.store(0, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(impl_->registry_mu);
+    for (const auto& buf : impl_->buffers) {
+      std::lock_guard<std::mutex> buf_lock(buf->mu);
+      all.insert(all.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.dur_us > b.dur_us;  // parent before child at equal start
+  });
+  return all;
+}
+
+std::string Tracer::to_chrome_json() const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i) out << ",";
+    out << "{\"name\":\"" << e.name << "\",\"cat\":\"" << e.category
+        << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":" << e.ts_us
+        << ",\"dur\":" << e.dur_us;
+    if (e.num_args > 0) {
+      out << ",\"args\":{";
+      for (int a = 0; a < e.num_args; ++a) {
+        if (a) out << ",";
+        out << "\"" << e.args[a].key << "\":" << e.args[a].value;
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace yardstick::obs

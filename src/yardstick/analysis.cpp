@@ -1,10 +1,12 @@
 #include "yardstick/analysis.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "coverage/components.hpp"
 #include "coverage/covered_sets.hpp"
 #include "dataplane/match_sets.hpp"
+#include "obs/trace.hpp"
 #include "yardstick/tracker.hpp"
 
 namespace yardstick::ys {
@@ -28,6 +30,9 @@ SuiteAnalysis SuiteAnalyzer::analyze(const dataplane::Transfer& transfer,
                                      const nettest::TestSuite& suite,
                                      double epsilon) const {
   const size_t n = suite.size();
+  obs::Span span("analysis.analyze", "analysis");
+  span.arg("tests", n);
+  const auto analyze_start = ResourceBudget::Clock::now();
   SuiteAnalysis analysis;
   analysis.tests.resize(n);
 
@@ -35,10 +40,14 @@ SuiteAnalysis SuiteAnalyzer::analyze(const dataplane::Transfer& transfer,
     // Run each test in isolation.
     std::vector<coverage::CoverageTrace> traces(n);
     for (size_t i = 0; i < n; ++i) {
+      const auto test_start = ResourceBudget::Clock::now();
       CoverageTracker tracker;
       (void)suite.test(i).run(transfer, tracker);
       traces[i] = tracker.trace();
       analysis.tests[i].name = suite.test(i).name();
+      analysis.tests[i].seconds = std::chrono::duration<double>(
+                                      ResourceBudget::Clock::now() - test_start)
+                                      .count();
       analysis.tests[i].solo = rule_coverage_of(traces[i], &analysis.truncated);
     }
 
@@ -92,6 +101,8 @@ SuiteAnalysis SuiteAnalyzer::analyze(const dataplane::Transfer& transfer,
     if (!is_resource_exhaustion(e.code())) throw;
     analysis.truncated = true;
   }
+  analysis.analyze_seconds =
+      std::chrono::duration<double>(ResourceBudget::Clock::now() - analyze_start).count();
   return analysis;
 }
 

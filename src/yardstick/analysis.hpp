@@ -30,6 +30,10 @@ struct TestContribution {
   double marginal = 0.0;
   /// True when removing the test changes nothing (within epsilon).
   bool redundant = false;
+  /// Wall-clock (steady) seconds spent running this test in isolation —
+  /// the cost side of the cost/coverage trade-off the greedy order
+  /// optimizes the value side of.
+  double seconds = 0.0;
 };
 
 struct SuiteAnalysis {
@@ -41,6 +45,9 @@ struct SuiteAnalysis {
   std::vector<double> greedy_cumulative;
   /// Fractional rule coverage of the whole suite.
   double full = 0.0;
+  /// Wall-clock (steady) seconds the whole analysis took, including the
+  /// O(n^2) leave-one-out and greedy passes.
+  double analyze_seconds = 0.0;
   /// True when a resource budget degraded any underlying coverage
   /// computation: every number above is then a lower bound, and marginals
   /// (clamped at 0) may under-state a test's real contribution.

@@ -5,6 +5,8 @@
 #include <optional>
 
 #include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace yardstick::ys {
 
@@ -20,7 +22,68 @@ const ResourceBudget* attach_budget(bdd::BddManager& mgr, const ResourceBudget* 
   return budget;
 }
 
+/// Writes the elapsed steady-clock seconds into `out` on scope exit. In a
+/// return statement, locals are destroyed *after* the returned object is
+/// constructed, so a guard in a factory function times the construction.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double& out) : out_(out), start_(ResourceBudget::Clock::now()) {}
+  ~PhaseTimer() {
+    out_ = std::chrono::duration<double>(ResourceBudget::Clock::now() - start_).count();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double& out_;
+  ResourceBudget::Clock::time_point start_;
+};
+
+/// Samples the primary manager's engine statistics and the budget's
+/// consumption into the metrics registry — called at phase boundaries so
+/// the BDD hot path itself carries no instrumentation.
+void sample_engine_gauges(const bdd::BddManager& mgr, const ResourceBudget* budget) {
+  if (!obs::enabled()) return;
+  obs::MetricsRegistry& reg = obs::metrics();
+  const bdd::BddManager::Stats stats = mgr.stats();
+  reg.gauge("ys.bdd.arena_nodes", "nodes in the primary BDD arena")
+      .set(static_cast<double>(stats.arena_nodes));
+  reg.gauge("ys.bdd.cache_hit_rate", "apply-cache hit fraction [0,1]")
+      .set(stats.cache_hit_rate());
+  reg.gauge("ys.bdd.cache_hits", "apply-cache hits on the primary manager")
+      .set(static_cast<double>(stats.cache_hits));
+  reg.gauge("ys.bdd.cache_misses", "apply-cache misses on the primary manager")
+      .set(static_cast<double>(stats.cache_misses));
+  reg.gauge("ys.bdd.unique_table_growths",
+            "unique-table rehash events (no GC in this engine; growth is the "
+            "arena-pressure signal)")
+      .set(static_cast<double>(stats.unique_table_growths));
+  if (budget != nullptr) {
+    reg.gauge("ys.budget.used_bdd_nodes", "nodes charged against the shared budget")
+        .set(static_cast<double>(budget->used_bdd_nodes()));
+    reg.gauge("ys.budget.max_bdd_nodes", "node cap (0 = unlimited)")
+        .set(static_cast<double>(budget->max_bdd_nodes()));
+    reg.gauge("ys.budget.exhausted", "1 when deadline/cancel tripped")
+        .set(budget->exhausted() ? 1.0 : 0.0);
+  }
+}
+
 }  // namespace
+
+dataplane::MatchSetIndex CoverageEngine::timed_match_sets(bdd::BddManager& mgr,
+                                                          const net::Network& network,
+                                                          const EngineOptions& options,
+                                                          PhaseTimings& timings) {
+  PhaseTimer timer(timings.match_sets_seconds);
+  return dataplane::MatchSetIndex(mgr, network, options.budget, options.threads);
+}
+
+coverage::CoveredSets CoverageEngine::timed_covered_sets(
+    const dataplane::MatchSetIndex& index, const coverage::CoverageTrace& trace,
+    const EngineOptions& options, PhaseTimings& timings) {
+  PhaseTimer timer(timings.covered_sets_seconds);
+  return coverage::CoveredSets(index, trace, options.budget, options.threads);
+}
 
 CoverageEngine::CoverageEngine(bdd::BddManager& mgr, const net::Network& network,
                                const coverage::CoverageTrace& trace,
@@ -33,10 +96,14 @@ CoverageEngine::CoverageEngine(bdd::BddManager& mgr, const net::Network& network
     : network_(network),
       budget_(attach_budget(mgr, options.budget)),
       threads_(options.threads),
-      index_(mgr, network, options.budget, options.threads),
+      index_(timed_match_sets(mgr, network, options, timings_)),
       transfer_(index_),
-      covered_(index_, trace, options.budget, options.threads),
-      factory_(transfer_) {}
+      covered_(timed_covered_sets(index_, trace, options, timings_)),
+      factory_(transfer_) {
+  // Offline phase (steps 1-2) just finished: snapshot the primary
+  // manager's state and the budget consumption into the registry.
+  sample_engine_gauges(mgr, budget_);
+}
 
 template <typename Fn>
 double CoverageEngine::degradable(bool* degraded, Fn&& fn) const {
@@ -147,6 +214,8 @@ IngressSweep sweep_ingress(const dataplane::Transfer& transfer,
 
 PathCoverageResult CoverageEngine::path_coverage(coverage::PathExplorerOptions options,
                                                  double deadline_seconds) const {
+  obs::Span sweep_span("path_coverage.sweep", "offline");
+  const auto sweep_start = ResourceBudget::Clock::now();
   PathCoverageResult result;
   result.truncated = truncated();  // steps 1-2 already degraded: Eq. 3 inputs partial
   if (options.budget == nullptr) options.budget = budget_;
@@ -212,6 +281,7 @@ PathCoverageResult CoverageEngine::path_coverage(coverage::PathExplorerOptions o
         clone_failed.store(true, std::memory_order_relaxed);
         return;
       }
+      uint64_t drained = 0;
       while (true) {
         if (out_of_time() || out_of_paths()) {
           stopped_early.store(true, std::memory_order_relaxed);
@@ -222,7 +292,11 @@ PathCoverageResult CoverageEngine::path_coverage(coverage::PathExplorerOptions o
         sweeps[i] =
             sweep_ingress(*local_transfer, *local_covered, options, *frontier[i],
                           emitted_total);
+        ++drained;
       }
+      // Queue-occupancy signal: how evenly did workers drain the ingress
+      // cursor? A skewed histogram means one giant ingress dominated.
+      if (obs::enabled()) ys::worker_items_histogram().observe(static_cast<double>(drained));
     });
     if (clone_failed.load(std::memory_order_relaxed)) result.truncated = true;
   }
@@ -246,6 +320,13 @@ PathCoverageResult CoverageEngine::path_coverage(coverage::PathExplorerOptions o
                         static_cast<double>(result.total_paths);
     result.mean /= static_cast<double>(result.total_paths);
   }
+  result.seconds =
+      std::chrono::duration<double>(ResourceBudget::Clock::now() - sweep_start).count();
+  sweep_span.arg("total_paths", result.total_paths);
+  sweep_span.arg("covered_paths", result.covered_paths);
+  sweep_span.arg("workers", workers);
+  sweep_span.arg("truncated", result.truncated ? 1 : 0);
+  sample_engine_gauges(index_.manager(), options.budget);
   return result;
 }
 
@@ -296,7 +377,9 @@ MetricRow CoverageEngine::metrics(const DeviceFilter& filter) const {
 }
 
 CoverageReport CoverageEngine::report() const {
+  obs::Span span("analysis.report", "report");
   CoverageReport report;
+  report.timings = timings_;
   report.truncated = truncated();
   const auto metrics_for = [&](const DeviceFilter& filter) { return metrics(filter); };
 

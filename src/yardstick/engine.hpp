@@ -38,6 +38,7 @@ struct PathCoverageResult {
   double fractional = 0.0;     // covered_paths / total_paths
   double mean = 0.0;           // unweighted mean of per-path coverage
   bool truncated = false;      // hit the max_paths / deadline / budget limit
+  double seconds = 0.0;        // wall-clock (steady) cost of this sweep
 };
 
 /// Construction-time knobs for the engine's offline phase.
@@ -126,6 +127,9 @@ class CoverageEngine {
   [[nodiscard]] const coverage::ComponentFactory& components() const { return factory_; }
   [[nodiscard]] const net::Network& network() const { return network_; }
   [[nodiscard]] unsigned threads() const { return threads_; }
+  /// Wall-clock cost of steps 1 and 2, measured at construction (always,
+  /// independent of the observability switch).
+  [[nodiscard]] const PhaseTimings& timings() const { return timings_; }
 
  private:
   [[nodiscard]] std::vector<net::DeviceId> filtered_devices(const DeviceFilter& filter) const;
@@ -134,9 +138,20 @@ class CoverageEngine {
   template <typename Fn>
   [[nodiscard]] double degradable(bool* degraded, Fn&& fn) const;
 
+  /// Init-list helpers: build step 1 / step 2 while timing them into
+  /// `timings` (guaranteed copy elision constructs the member in place;
+  /// the timing guard's destructor fires after construction completes).
+  [[nodiscard]] static dataplane::MatchSetIndex timed_match_sets(
+      bdd::BddManager& mgr, const net::Network& network, const EngineOptions& options,
+      PhaseTimings& timings);
+  [[nodiscard]] static coverage::CoveredSets timed_covered_sets(
+      const dataplane::MatchSetIndex& index, const coverage::CoverageTrace& trace,
+      const EngineOptions& options, PhaseTimings& timings);
+
   const net::Network& network_;
   const ResourceBudget* budget_;
   unsigned threads_;
+  PhaseTimings timings_;  // declared before index_/covered_: written during their init
   dataplane::MatchSetIndex index_;
   dataplane::Transfer transfer_;
   coverage::CoveredSets covered_;

@@ -79,7 +79,13 @@ std::string report_to_json(const CoverageReport& report) {
   }
   out << "],\"untested_devices\":" << report.untested_device_count
       << ",\"untested_interfaces\":" << report.untested_interface_count
-      << ",\"truncated\":" << (report.truncated ? "true" : "false") << "}";
+      << ",\"timings\":{\"match_sets_seconds\":";
+  finite(out, report.timings.match_sets_seconds);
+  out << ",\"covered_sets_seconds\":";
+  finite(out, report.timings.covered_sets_seconds);
+  out << ",\"offline_seconds\":";
+  finite(out, report.timings.offline_seconds());
+  out << "},\"truncated\":" << (report.truncated ? "true" : "false") << "}";
   return out.str();
 }
 

@@ -41,6 +41,9 @@ std::string CoverageReport::to_text() const {
   }
   out << "  completely untested devices: " << untested_device_count << "\n";
   out << "  completely untested interfaces: " << untested_interface_count << "\n";
+  out << "  offline phase: match-sets " << std::fixed << std::setprecision(3)
+      << timings.match_sets_seconds << "s, covered-sets " << timings.covered_sets_seconds
+      << "s (total " << timings.offline_seconds() << "s)\n";
   return out.str();
 }
 

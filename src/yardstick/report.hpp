@@ -12,6 +12,18 @@
 
 namespace yardstick::ys {
 
+/// Wall-clock (steady) seconds the engine spent in each offline-phase
+/// step. Always measured — two clock reads per phase — independent of the
+/// observability switch, so reports carry timings even in default runs.
+struct PhaseTimings {
+  double match_sets_seconds = 0.0;    ///< §5.2 step 1
+  double covered_sets_seconds = 0.0;  ///< §5.2 step 2 (Algorithm 1)
+
+  [[nodiscard]] double offline_seconds() const {
+    return match_sets_seconds + covered_sets_seconds;
+  }
+};
+
 /// The four headline metrics the case study plots per router role.
 struct MetricRow {
   double device_fractional = 0.0;
@@ -44,6 +56,8 @@ struct CoverageReport {
   std::vector<RuleGap> gaps;
   size_t untested_device_count = 0;
   size_t untested_interface_count = 0;
+  /// Offline-phase timing summary (filled in by CoverageEngine::report).
+  PhaseTimings timings;
   /// True when any part of the report was computed under a tripped
   /// resource budget: every number is a lower bound.
   bool truncated = false;

@@ -18,12 +18,15 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "common/budget.hpp"
 #include "common/status.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "netio/network_format.hpp"
 #include "nettest/acl_checks.hpp"
 #include "nettest/contract_checks.hpp"
@@ -59,6 +62,8 @@ struct CliOptions {
   double deadline_s = 0.0;       // 0 = unlimited
   size_t max_bdd_nodes = 0;      // 0 = unlimited
   unsigned threads = 0;          // offline-phase workers; 0 = all hardware threads
+  std::optional<std::string> trace_out;    // Chrome trace-event JSON
+  std::optional<std::string> metrics_out;  // metrics JSON (+ FILE.prom)
 };
 
 int usage(const char* argv0) {
@@ -79,7 +84,11 @@ int usage(const char* argv0) {
                "  --deadline SECONDS   overall wall-clock budget (partial results)\n"
                "  --max-bdd-nodes N    cap BDD arena size (partial results)\n"
                "  --threads N          offline-phase worker threads (default: all\n"
-               "                       hardware threads; results are identical)\n",
+               "                       hardware threads; results are identical)\n"
+               "  --trace-out FILE     write a Chrome trace-event JSON span timeline\n"
+               "                       (open in about:tracing or ui.perfetto.dev)\n"
+               "  --metrics-out FILE   write engine metrics as JSON to FILE and\n"
+               "                       Prometheus text exposition to FILE.prom\n",
                argv0);
   return 2;
 }
@@ -148,6 +157,12 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       int n = 0;
       if (!next_int(n)) return std::nullopt;
       opts.threads = static_cast<unsigned>(n);
+    } else if (arg == "--trace-out") {
+      if (i + 1 >= argc) return std::nullopt;
+      opts.trace_out = argv[++i];
+    } else if (arg == "--metrics-out") {
+      if (i + 1 >= argc) return std::nullopt;
+      opts.metrics_out = argv[++i];
     } else {
       return std::nullopt;
     }
@@ -193,7 +208,15 @@ int exit_code_for(ys::Error code) {
   }
 }
 
-int run(const CliOptions& opts) {
+/// Writes `content` to `path`, mapping failure onto the I/O exit code.
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  out.flush();
+  if (!out) throw ys::IoError("cannot write " + path);
+}
+
+int run_impl(const CliOptions& opts) {
 
   // Build topology + forwarding state.
   net::Network* network = nullptr;
@@ -235,6 +258,7 @@ int run(const CliOptions& opts) {
   size_t failures = 0;
 
   if (opts.load_trace) {
+    obs::Span span("trace.load", "io");
     coverage::CoverageTrace loaded = ys::load_trace(*opts.load_trace, mgr);
     tracker.mark_packet(loaded.marked_packets());
     for (const net::RuleId rid : loaded.marked_rules()) tracker.mark_rule(rid);
@@ -245,7 +269,11 @@ int run(const CliOptions& opts) {
     const std::unordered_set<net::DeviceId> excluded(routing->no_default_devices.begin(),
                                                      routing->no_default_devices.end());
     const nettest::TestSuite suite = build_suite(opts, excluded);
-    const auto results = suite.run_all(transfer, tracker);
+    const auto results = [&] {
+      obs::Span span("suite.run", "online");
+      span.arg("tests", suite.size());
+      return suite.run_all(transfer, tracker);
+    }();
     for (const auto& r : results) failures += r.failures;
     if (opts.json) {
       std::printf("{\"tests\":%s,", ys::results_to_json(results).c_str());
@@ -261,10 +289,11 @@ int run(const CliOptions& opts) {
       if (analysis.truncated) {
         std::fprintf(stderr, "warning: budget exhausted; suite analysis is partial\n");
       }
-      std::printf("\nsuite analysis (fractional rule coverage):\n");
+      std::printf("\nsuite analysis (fractional rule coverage, %.3fs):\n",
+                  analysis.analyze_seconds);
       for (const auto& t : analysis.tests) {
-        std::printf("  %-24s solo %6.1f%%  marginal %6.1f%%  %s\n", t.name.c_str(),
-                    t.solo * 100.0, t.marginal * 100.0,
+        std::printf("  %-24s solo %6.1f%%  marginal %6.1f%%  %7.3fs  %s\n",
+                    t.name.c_str(), t.solo * 100.0, t.marginal * 100.0, t.seconds,
                     t.redundant ? "REDUNDANT" : "keep");
       }
     }
@@ -295,10 +324,11 @@ int run(const CliOptions& opts) {
                   static_cast<unsigned long long>(paths.covered_paths), fractional,
                   paths.truncated ? "true" : "false");
     } else {
-      std::printf("path coverage: %llu/%llu covered (%.1f%%)%s\n",
+      std::printf("path coverage: %llu/%llu covered (%.1f%%) in %.3fs%s\n",
                   static_cast<unsigned long long>(paths.covered_paths),
                   static_cast<unsigned long long>(paths.total_paths),
-                  paths.fractional * 100.0, paths.truncated ? " [truncated]" : "");
+                  paths.fractional * 100.0, paths.seconds,
+                  paths.truncated ? " [truncated]" : "");
     }
   }
   if (opts.json) std::printf("}\n");
@@ -311,10 +341,36 @@ int run(const CliOptions& opts) {
   }
 
   if (opts.save_trace) {
+    obs::Span span("trace.save", "io");
     ys::save_trace(*opts.save_trace, tracker.trace(), mgr);
     if (!opts.json) std::printf("trace saved to %s\n", opts.save_trace->c_str());
   }
   return failures == 0 ? 0 : 1;
+}
+
+int run(const CliOptions& opts) {
+  // The observability switch flips on only when an output was requested;
+  // default runs keep the near-zero disabled-mode cost.
+  if (opts.trace_out || opts.metrics_out) obs::set_enabled(true);
+  int code = 0;
+  {
+    // Scoped so the root span is recorded before the trace is serialized.
+    obs::Span root("cli.run", "cli");
+    code = run_impl(opts);
+  }
+  if (opts.trace_out) {
+    write_file(*opts.trace_out, obs::Tracer::global().to_chrome_json());
+    if (!opts.json) std::printf("trace timeline written to %s\n", opts.trace_out->c_str());
+  }
+  if (opts.metrics_out) {
+    write_file(*opts.metrics_out, obs::metrics().to_json());
+    write_file(*opts.metrics_out + ".prom", obs::metrics().to_prometheus());
+    if (!opts.json) {
+      std::printf("metrics written to %s (+ %s.prom)\n", opts.metrics_out->c_str(),
+                  opts.metrics_out->c_str());
+    }
+  }
+  return code;
 }
 
 }  // namespace
