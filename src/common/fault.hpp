@@ -26,7 +26,8 @@ namespace detail {
 
 struct ArmedFault {
   uint64_t remaining = 0;  // fires when a hit decrements this to zero
-  std::function<void()> action;
+  std::function<void()> action;              // for fire()
+  std::function<int64_t(int64_t)> shape;     // for fire_adjust()
 };
 
 struct Registry {
@@ -54,7 +55,22 @@ inline void arm(const std::string& point, uint64_t nth, std::function<void()> ac
   detail::Registry& r = detail::registry();
   const std::lock_guard<std::mutex> lock(r.mutex);
   if (!r.points.contains(point)) r.armed_count.fetch_add(1, std::memory_order_relaxed);
-  r.points[point] = {nth == 0 ? 1 : nth, std::move(action)};
+  r.points[point] = {nth == 0 ? 1 : nth, std::move(action), nullptr};
+}
+
+/// Arm `point` so its `nth` crossing of fire_adjust() maps the value the
+/// code was about to use onto another one. This is how syscall-shaped
+/// faults are provoked: an I/O wrapper passes the byte count it intends to
+/// request (or 0 for a pre-call probe) and the armed shape can cap it
+/// (short read/write) or return a negative errno (EINTR, ECONNRESET,
+/// accept failure) that the wrapper treats exactly like the kernel
+/// refusing the call. The shape may also throw.
+inline void arm_adjust(const std::string& point, uint64_t nth,
+                       std::function<int64_t(int64_t)> shape) {
+  detail::Registry& r = detail::registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  if (!r.points.contains(point)) r.armed_count.fetch_add(1, std::memory_order_relaxed);
+  r.points[point] = {nth == 0 ? 1 : nth, nullptr, std::move(shape)};
 }
 
 /// Disarm everything (test teardown).
@@ -74,7 +90,7 @@ inline void fire(const char* point) {
     detail::Registry& r = detail::registry();
     const std::lock_guard<std::mutex> lock(r.mutex);
     const auto it = r.points.find(point);
-    if (it == r.points.end()) return;
+    if (it == r.points.end() || !it->second.action) return;
     if (--it->second.remaining > 0) return;
     action = std::move(it->second.action);
     r.points.erase(it);
@@ -82,6 +98,26 @@ inline void fire(const char* point) {
   }
   // Run outside the lock: the action may throw or re-arm.
   if (action) action();
+}
+
+/// Record a crossing of a value-shaping point; returns `value` untouched
+/// unless an armed shape is due, in which case the shaped value replaces
+/// it. No-op (after the `active()` guard) when nothing is armed.
+[[nodiscard]] inline int64_t fire_adjust(const char* point, int64_t value) {
+  if (!active()) return value;
+  std::function<int64_t(int64_t)> shape;
+  {
+    detail::Registry& r = detail::registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.points.find(point);
+    if (it == r.points.end() || !it->second.shape) return value;
+    if (--it->second.remaining > 0) return value;
+    shape = std::move(it->second.shape);
+    r.points.erase(it);
+    r.armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  // Run outside the lock: the shape may throw or re-arm.
+  return shape(value);
 }
 
 }  // namespace yardstick::fault

@@ -1,0 +1,149 @@
+// yardstickd — the fault-tolerant trace-ingestion daemon (online phase as
+// a service).
+//
+// The paper's whole pitch for the online phase (§5, Fig. 4) is that
+// markPacket/markRule stay off the testing tools' critical path. As an
+// in-process library that holds only while the tool links the engine and
+// never crashes. yardstickd moves ingestion behind a socket: many
+// concurrent test-tool sessions stream batched mark events at a
+// long-running daemon that journals, merges and periodically snapshots
+// them — a tool crash loses nothing acknowledged, a daemon crash loses
+// nothing journaled.
+//
+// Data path:   conn threads ──frames──▶ bounded queue ──▶ consumer thread
+//                   │  Busy on full          │               │ WAL append
+//                   ◀──Ack after journal+merge◀──────────────┘ merge into
+//                                                              per-session trace
+//
+// Robustness properties, each with a test or fault point behind it:
+//   * bounded ingress queue; overflow answers an explicit Busy frame
+//     (backpressure) instead of stalling the socket or growing memory;
+//   * durable-before-ack: a batch is acknowledged only after its WAL
+//     append succeeds, so ack'd events survive kill -9;
+//   * idempotent recovery: traces merge by union, so WAL replay plus
+//     client re-delivery after a crash converge on the same trace as an
+//     uninterrupted run — byte-identical snapshots;
+//   * per-session traces merged in session-id order (deterministic merge
+//     independent of arrival interleaving);
+//   * graceful shutdown (SIGTERM/SIGINT via service/signal.hpp): stop
+//     accepting, drain every accepted batch, snapshot atomically through
+//     persist.cpp, truncate the WAL;
+//   * every syscall edge (short read/write, EINTR, accept failure, torn
+//     frame, full queue, mid-append crash) is exercised through
+//     common/fault.hpp fault points.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bdd/bdd.hpp"
+#include "coverage/trace.hpp"
+#include "packet/fields.hpp"
+
+namespace yardstick::service {
+
+struct DaemonOptions {
+  /// Unix-domain listener path ("" = disabled).
+  std::string socket_path;
+  /// TCP listener on 127.0.0.1 (0 = disabled). At least one listener
+  /// must be enabled.
+  uint16_t tcp_port = 0;
+  /// Write-ahead journal path ("" = journaling off: acks are then only
+  /// memory-durable).
+  std::string wal_path;
+  /// Snapshot path for compaction and graceful shutdown ("" = off).
+  std::string snapshot_path;
+  /// Ingress queue bound: the daemon's memory guarantee.
+  size_t queue_capacity = 1024;
+  /// Compact (snapshot + truncate WAL) once the journal exceeds this.
+  uint64_t compact_wal_bytes = 64ull << 20;
+  /// fsync every WAL append (durable-before-ack). Benchmarks may disable.
+  bool wal_fsync = true;
+  /// Retry-after hint carried in Busy (backpressure) frames, ms.
+  uint32_t busy_retry_ms = 25;
+  /// BDD variable universe; must match the clients' Hello.
+  bdd::Var num_vars = packet::kNumHeaderBits;
+};
+
+struct DaemonStats {
+  uint64_t connections = 0;
+  uint64_t accept_failures = 0;
+  uint64_t frames = 0;
+  uint64_t corrupt_frames = 0;
+  uint64_t batches = 0;
+  uint64_t rejected_batches = 0;  ///< decode/WAL failures (client retries)
+  uint64_t busy_rejections = 0;   ///< backpressure answers
+  uint64_t events = 0;            ///< mark events merged
+  uint64_t compactions = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t sessions = 0;
+  uint64_t recovered_records = 0;  ///< WAL records replayed at start()
+  bool recovered_torn_tail = false;
+  bool recovered_snapshot = false;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions opts);
+  /// Destruction of a still-running daemon behaves like crash_stop():
+  /// threads halt, nothing is drained or snapshotted.
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Recover (snapshot load + WAL replay), bind listeners, start the
+  /// consumer thread. Throws ys::StatusError subclasses on unrecoverable
+  /// setup failures (cannot bind, corrupt snapshot).
+  void start();
+
+  /// Serve until stop is requested: request_stop(), or `wake_fd` (e.g.
+  /// ShutdownSignal::fd()) becoming readable. Returns after the accept
+  /// loop exits; call shutdown() next for the graceful drain.
+  void run(int wake_fd = -1);
+
+  /// Ask run() to return (thread-safe, signal-unsafe — from signal
+  /// handlers use ShutdownSignal's fd as run()'s wake_fd instead).
+  void request_stop();
+
+  /// Graceful drain-and-save: stop accepting, let every accepted batch
+  /// reach the trace, snapshot atomically, truncate the WAL, join all
+  /// threads. Idempotent.
+  void shutdown();
+
+  /// Simulated crash for recovery tests: halt threads where they stand,
+  /// drop undrained queue items, skip snapshot and WAL truncation. The
+  /// object stays inspectable; a new Daemon on the same paths recovers.
+  void crash_stop();
+
+  /// Deterministic merge of all session traces, in session-id order,
+  /// into `into`'s manager (which must have matching num_vars). Only
+  /// valid while no consumer thread runs (before start() or after
+  /// shutdown()/crash_stop()).
+  [[nodiscard]] coverage::CoverageTrace merged_trace(bdd::BddManager& into) const;
+
+  /// Canonical serialization of the merged trace (persist-v2 text) —
+  /// what a snapshot would contain. Same threading caveat as
+  /// merged_trace().
+  [[nodiscard]] std::string serialized_trace() const;
+
+  [[nodiscard]] DaemonStats stats() const;
+  [[nodiscard]] uint16_t tcp_port() const;  ///< resolved port (for tests)
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Offline recovery (the `ingest-replay` subcommand): rebuild the merged
+/// trace a daemon would recover from `snapshot_path` (optional) plus
+/// `wal_path`, without binding any socket. Returns the trace in `mgr`;
+/// `stats` (optional) reports replayed record counts and tail state.
+[[nodiscard]] coverage::CoverageTrace recover_trace(const std::string& snapshot_path,
+                                                    const std::string& wal_path,
+                                                    bdd::BddManager& mgr,
+                                                    DaemonStats* stats = nullptr);
+
+}  // namespace yardstick::service

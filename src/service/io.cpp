@@ -1,0 +1,191 @@
+#include "service/io.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/fault.hpp"
+#include "common/status.hpp"
+
+namespace yardstick::service {
+
+namespace {
+
+/// Crosses "<site>.pre"; a negative shaped value becomes a simulated
+/// syscall failure with errno = -value. Returns false when the caller
+/// should treat the call as failed without issuing it.
+bool pre_syscall(const char* site, std::string& point_buf) {
+  if (!fault::active()) return true;
+  point_buf.assign(site);
+  point_buf += ".pre";
+  const int64_t verdict = fault::fire_adjust(point_buf.c_str(), 0);
+  if (verdict < 0) {
+    errno = static_cast<int>(-verdict);
+    return false;
+  }
+  return true;
+}
+
+/// Crosses "<site>.len"; the shape may cap the requested count.
+size_t shaped_len(const char* site, size_t len, std::string& point_buf) {
+  if (!fault::active()) return len;
+  point_buf.assign(site);
+  point_buf += ".len";
+  const int64_t shaped = fault::fire_adjust(point_buf.c_str(), static_cast<int64_t>(len));
+  return shaped > 0 ? static_cast<size_t>(shaped) : len;
+}
+
+}  // namespace
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+ssize_t io_read(int fd, void* buf, size_t len, const char* site) {
+  std::string point;
+  for (;;) {
+    if (!pre_syscall(site, point)) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    const size_t ask = shaped_len(site, len, point);
+    const ssize_t n = ::read(fd, buf, ask);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+bool io_write_full(int fd, const void* buf, size_t len, const char* site) {
+  const char* p = static_cast<const char*>(buf);
+  std::string point;
+  size_t off = 0;
+  while (off < len) {
+    if (!pre_syscall(site, point)) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    const size_t ask = shaped_len(site, len - off, point);
+    const ssize_t n = ::write(fd, p + off, ask);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+int io_poll_in(int fd, int timeout_ms) {
+  struct pollfd pfd = {fd, POLLIN, 0};
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;  // imprecise remaining time is fine
+    if (rc > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) return 1;
+    return rc > 0 ? 1 : rc;
+  }
+}
+
+Fd listen_unix(const std::string& path) {
+  struct sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw ys::IoError("unix socket path too long", {.source = path});
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) throw ys::IoError("cannot create unix socket", {.source = path});
+  ::unlink(path.c_str());  // a kill -9'd predecessor leaves a stale file
+  if (::bind(fd.get(), reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw ys::IoError(std::string("cannot bind unix socket: ") + std::strerror(errno),
+                      {.source = path});
+  }
+  if (::listen(fd.get(), SOMAXCONN) != 0) {
+    throw ys::IoError(std::string("cannot listen: ") + std::strerror(errno),
+                      {.source = path});
+  }
+  return fd;
+}
+
+Fd listen_tcp(uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  const std::string where = "127.0.0.1:" + std::to_string(port);
+  if (!fd.valid()) throw ys::IoError("cannot create tcp socket", {.source = where});
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd.get(), reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw ys::IoError(std::string("cannot bind: ") + std::strerror(errno),
+                      {.source = where});
+  }
+  if (::listen(fd.get(), SOMAXCONN) != 0) {
+    throw ys::IoError(std::string("cannot listen: ") + std::strerror(errno),
+                      {.source = where});
+  }
+  return fd;
+}
+
+Fd accept_conn(int listen_fd) {
+  std::string point;
+  for (;;) {
+    if (!pre_syscall("net.accept", point)) {
+      if (errno == EINTR) continue;
+      return Fd();
+    }
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0 && errno == EINTR) continue;
+    return Fd(fd);
+  }
+}
+
+Fd connect_unix(const std::string& path) {
+  struct sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    errno = ENAMETOOLONG;
+    return Fd();
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return Fd();
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    return Fd();
+  }
+}
+
+Fd connect_tcp(const std::string& host, uint16_t port) {
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return Fd();
+  }
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Fd();
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    return Fd();
+  }
+}
+
+}  // namespace yardstick::service

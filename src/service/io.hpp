@@ -1,0 +1,85 @@
+// POSIX I/O primitives for the ingestion daemon, hardened at the syscall
+// boundary.
+//
+// Every wrapper here owns one failure edge the daemon must survive:
+// short reads and writes (loops continue), EINTR (retried, counted),
+// refused accepts (reported, never fatal), and stale socket files
+// (unlinked before bind). Each wrapper crosses a named fault point
+// (fault::fire_adjust) immediately before its syscall, so tests can make
+// "the kernel returned -1/EINTR/half the bytes" happen at an exact
+// moment: the point `<site>.pre` may return a negative errno to fail the
+// call, and `<site>.len` may cap the requested byte count (a short op).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <sys/types.h>
+
+namespace yardstick::service {
+
+/// RAII file descriptor. Move-only; closes on destruction (EINTR on
+/// close is ignored — POSIX leaves the fd state unspecified and
+/// double-close is the worse bug).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void reset(int fd = -1);
+  /// Release ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// read(2) with EINTR retry and fault shaping (`<site>.pre`, `<site>.len`).
+/// Returns bytes read, 0 at EOF, -1 with errno set on failure.
+ssize_t io_read(int fd, void* buf, size_t len, const char* site = "net.read");
+
+/// Write all of `len` bytes, absorbing short writes and EINTR. Returns
+/// true on success; false with errno set on failure (the stream position
+/// is then indeterminate — a torn frame the peer's checksum catches).
+bool io_write_full(int fd, const void* buf, size_t len, const char* site = "net.write");
+
+/// poll(2) for readability. Returns 1 when readable/hung-up, 0 on
+/// timeout, -1 with errno set on failure. EINTR is retried with the
+/// remaining time.
+int io_poll_in(int fd, int timeout_ms);
+
+/// Listening sockets. Both throw ys::IoError on failure: a daemon that
+/// cannot bind has nothing to degrade to. listen_unix unlinks a stale
+/// socket file first (a kill -9'd predecessor leaves one behind).
+[[nodiscard]] Fd listen_unix(const std::string& path);
+[[nodiscard]] Fd listen_tcp(uint16_t port);  // 127.0.0.1 only
+
+/// accept(2) with EINTR retry and fault shaping ("net.accept.pre").
+/// Returns an invalid Fd with errno set on failure — the accept loop
+/// counts it and keeps serving (one refused accept must not kill the
+/// daemon).
+[[nodiscard]] Fd accept_conn(int listen_fd);
+
+/// Client-side connects. Return an invalid Fd with errno set on failure
+/// so the client's retry/backoff loop owns the policy.
+[[nodiscard]] Fd connect_unix(const std::string& path);
+[[nodiscard]] Fd connect_tcp(const std::string& host, uint16_t port);
+
+}  // namespace yardstick::service

@@ -1,0 +1,76 @@
+// Bounded multi-producer single-consumer queue — the daemon's ingress
+// buffer.
+//
+// Boundedness is the robustness property: a flood of producers cannot
+// grow daemon memory without limit. When the queue is full, try_push
+// fails *immediately* and the connection handler answers with an explicit
+// Busy (backpressure) frame instead of silently stalling the socket —
+// the client owns the retry policy, the daemon owns the memory bound.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace yardstick::service {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Non-blocking; false when the queue is full or closed.
+  bool try_push(T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available; nullopt once closed *and* drained,
+  /// so close() lets the consumer finish every accepted item before
+  /// exiting (the graceful-shutdown drain).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Reject new pushes; wake the consumer to drain what was accepted.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Drop everything undrained (crash simulation / hard stop).
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    items_.clear();
+  }
+
+  [[nodiscard]] size_t depth() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace yardstick::service

@@ -1,0 +1,74 @@
+#include "service/signal.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <unistd.h>
+
+#include "common/status.hpp"
+
+namespace yardstick::service {
+
+namespace {
+
+// File-scope, lock-free state: everything a handler touches must be
+// async-signal-safe, which rules out the instance owning it behind a
+// mutex or allocation.
+std::atomic<int> g_pipe_rd{-1};
+std::atomic<int> g_pipe_wr{-1};
+std::atomic<int> g_signal_count{0};
+std::atomic<bool> g_requested{false};
+
+void on_signal(int signo) {
+  if (g_signal_count.fetch_add(1, std::memory_order_relaxed) >= 1) {
+    // Second signal: the operator wants out *now*, drain be damned.
+    _exit(128 + signo);
+  }
+  g_requested.store(true, std::memory_order_relaxed);
+  const int wr = g_pipe_wr.load(std::memory_order_relaxed);
+  if (wr >= 0) {
+    const char byte = 's';
+    // A full pipe is fine: the poll side is already readable.
+    [[maybe_unused]] const ssize_t n = ::write(wr, &byte, 1);
+  }
+}
+
+}  // namespace
+
+ShutdownSignal& ShutdownSignal::install() {
+  static ShutdownSignal instance;
+  if (g_pipe_rd.load(std::memory_order_relaxed) < 0) {
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      throw ys::IoError("cannot create shutdown self-pipe");
+    }
+    g_pipe_rd.store(fds[0], std::memory_order_relaxed);
+    g_pipe_wr.store(fds[1], std::memory_order_relaxed);
+
+    struct sigaction sa = {};
+    sa.sa_handler = on_signal;
+    ::sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART: blocked syscalls should wake
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+  }
+  return instance;
+}
+
+int ShutdownSignal::fd() const { return g_pipe_rd.load(std::memory_order_relaxed); }
+
+bool ShutdownSignal::requested() const {
+  return g_requested.load(std::memory_order_relaxed);
+}
+
+void ShutdownSignal::trigger() {
+  g_requested.store(true, std::memory_order_relaxed);
+  const int wr = g_pipe_wr.load(std::memory_order_relaxed);
+  if (wr >= 0) {
+    const char byte = 't';
+    [[maybe_unused]] const ssize_t n = ::write(wr, &byte, 1);
+  }
+}
+
+}  // namespace yardstick::service

@@ -1,0 +1,40 @@
+// SIGTERM/SIGINT wiring for the daemon — the repo's first signal handling.
+//
+// A signal handler may only touch async-signal-safe state, so the handler
+// here does exactly two things: set a flag and write one byte into a
+// self-pipe. The daemon's accept loop polls the pipe's read end alongside
+// its listening sockets, turning "a signal arrived" into "a poll fd went
+// readable" — the drain-and-save shutdown then runs in normal (non-
+// handler) context where it may lock, allocate and fsync. A second
+// signal hard-exits (128+signo): an operator's double Ctrl-C means
+// "now", even if the drain is wedged.
+#pragma once
+
+namespace yardstick::service {
+
+class ShutdownSignal {
+ public:
+  /// Install SIGTERM/SIGINT handlers (idempotent) and return the
+  /// process-wide instance. Throws ys::IoError if the self-pipe cannot
+  /// be created.
+  static ShutdownSignal& install();
+
+  /// Read end of the self-pipe: poll it for readability next to the
+  /// listening sockets.
+  [[nodiscard]] int fd() const;
+
+  /// True once a shutdown signal has been observed (or trigger() called).
+  [[nodiscard]] bool requested() const;
+
+  /// Programmatic shutdown request — same path as a signal, usable from
+  /// tests and from non-signal code.
+  void trigger();
+
+  ShutdownSignal(const ShutdownSignal&) = delete;
+  ShutdownSignal& operator=(const ShutdownSignal&) = delete;
+
+ private:
+  ShutdownSignal() = default;
+};
+
+}  // namespace yardstick::service

@@ -1,0 +1,84 @@
+// Write-ahead journal for the ingestion daemon.
+//
+// Durability contract: a batch is acknowledged to the client only after
+// its bytes are appended (and, by default, fsync'd) here. If the daemon
+// is killed — even kill -9 mid-append — restart recovery replays the
+// journal and loses at most the unacknowledged tail; the client still
+// holds that batch and resends it, and because trace merge is a union,
+// re-delivery of anything already journaled is harmless. That pairing
+// (durable-before-ack + idempotent merge) is what makes the crash-
+// recovery CI job's "bit-identical to an uninterrupted run" assertion
+// hold.
+//
+// On-disk format:
+//   "yardstick-wal v1\n"                                  (header)
+//   repeated records: u32 len | u64 fnv1a(payload) | payload
+// A record torn by a crash is detected by its short length or checksum
+// and treated as the end of the journal — replay never trusts the tail.
+//
+// Compaction: once the journal exceeds a byte threshold, the daemon
+// saves its merged trace through persist.cpp's atomic save_trace and
+// truncates the journal back to the header (reset()). The ordering is
+// deliberately crash-safe without coordination: snapshot first, truncate
+// second. A crash between the two leaves snapshot + stale journal, and
+// replaying already-snapshotted records is again a no-op union.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "service/io.hpp"
+
+namespace yardstick::service {
+
+class Wal {
+ public:
+  struct Options {
+    std::string path;
+    /// fsync every append (the durable-before-ack contract). Off trades
+    /// durability of the latest few records for throughput.
+    bool fsync = true;
+  };
+
+  struct ReplayStats {
+    size_t records = 0;      ///< Complete, checksum-valid records applied.
+    uint64_t bytes = 0;      ///< Bytes consumed by applied records.
+    bool torn_tail = false;  ///< File ended inside a record (crash mid-append).
+    bool bad_tail = false;   ///< Tail record present but checksum-invalid.
+  };
+
+  explicit Wal(Options opts) : opts_(std::move(opts)) {}
+
+  /// Open (creating with a header if absent) for appending. Throws
+  /// ys::IoError.
+  void open_for_append();
+
+  /// Append one record; flushes, and fsyncs unless disabled. Throws
+  /// ys::IoError — after which the tail may be torn, exactly like a
+  /// crash, and the caller must NOT acknowledge the batch.
+  void append(std::string_view payload);
+
+  /// Truncate back to the bare header (post-compaction). Throws
+  /// ys::IoError.
+  void reset();
+
+  /// Bytes currently in the journal file (header included).
+  [[nodiscard]] uint64_t bytes() const { return bytes_; }
+  [[nodiscard]] const std::string& path() const { return opts_.path; }
+
+  /// Stream every valid record of `path` through `apply`, stopping at a
+  /// torn or corrupt tail. A missing file is an empty journal. Throws
+  /// ys::IoError only if the file exists but cannot be opened/read, and
+  /// whatever `apply` throws.
+  static ReplayStats replay(const std::string& path,
+                            const std::function<void(std::string_view)>& apply);
+
+ private:
+  Options opts_;
+  Fd fd_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace yardstick::service

@@ -1,9 +1,14 @@
 #include "yardstick/persist.hpp"
 
+#include <algorithm>
 #include <array>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <fcntl.h>
 #include <fstream>
 #include <sstream>
+#include <unistd.h>
 #include <unordered_map>
 #include <vector>
 
@@ -164,8 +169,15 @@ std::string serialize_trace(const coverage::CoverageTrace& trace, BddManager& mg
   for (const auto& [var, low, high] : nodes) {
     out << var << " " << low << " " << high << "\n";
   }
-  out << "rules " << trace.marked_rules().size() << "\n";
-  for (const net::RuleId rid : trace.marked_rules()) out << rid.value << "\n";
+  // Rules are kept in an unordered_set; emit them sorted so the same
+  // trace always serializes to the same bytes. Canonical output is what
+  // lets crash-recovery checks compare snapshot files directly.
+  std::vector<uint32_t> rules;
+  rules.reserve(trace.marked_rules().size());
+  for (const net::RuleId rid : trace.marked_rules()) rules.push_back(rid.value);
+  std::sort(rules.begin(), rules.end());
+  out << "rules " << rules.size() << "\n";
+  for (const uint32_t rid : rules) out << rid << "\n";
   out << "locations " << roots.size() << "\n";
   for (const auto& [loc, root] : roots) out << loc << " " << root << "\n";
 
@@ -240,34 +252,84 @@ coverage::CoverageTrace deserialize_trace(const std::string& text, BddManager& m
   return trace;
 }
 
+namespace {
+
+/// write(2) the whole buffer, retrying short writes and EINTR.
+bool write_all(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Directory containing `path` ("." for a bare filename) — the directory
+/// whose entry the rename mutates, and therefore the one to fsync.
+std::string parent_dir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
 void save_trace(const std::string& path, const coverage::CoverageTrace& trace,
                 BddManager& mgr) {
   // Serialize before touching the filesystem: an exhausted budget or a
   // bad trace must not cost us the temp file dance.
   const std::string content = serialize_trace(trace, mgr);
 
-  // Crash-safe commit: write + flush a sibling temp file, then rename it
-  // over the destination. rename(2) is atomic within a filesystem, so
-  // `path` either keeps its old content or holds the complete new trace.
+  // Crash-safe commit: write + fsync a sibling temp file, rename it over
+  // the destination, then fsync the parent directory. rename(2) is atomic
+  // within a filesystem, so `path` either keeps its old content or holds
+  // the complete new trace; the two fsyncs make that also hold across
+  // power loss — without them the rename can hit disk before the data
+  // (leaving a committed-but-empty file), or evaporate entirely.
   const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw IoError("cannot open for writing", {.source = tmp});
   try {
-    {
-      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-      if (!out) throw IoError("cannot open for writing", {.source = tmp});
-      out << content;
-      if (fault::active()) fault::fire("persist.save.write");
-      out.flush();
-      if (!out) throw IoError("write failed", {.source = tmp});
+    const bool wrote = write_all(fd, content.data(), content.size());
+    if (fault::active()) fault::fire("persist.save.write");
+    if (!wrote) throw IoError("write failed", {.source = tmp});
+    if (fault::active()) fault::fire("persist.save.fsync");
+    if (::fsync(fd) != 0) throw IoError("fsync failed", {.source = tmp});
+    if (::close(fd) != 0) {
+      fd = -1;  // closed even on error; do not close twice
+      throw IoError("close failed", {.source = tmp});
     }
+    fd = -1;
     if (fault::active()) fault::fire("persist.save.commit");
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw IoError("cannot rename temp file into place", {.source = path});
+    }
   } catch (...) {
+    if (fd >= 0) ::close(fd);
     std::remove(tmp.c_str());
     throw;
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw IoError("cannot rename temp file into place", {.source = path});
+  // Past the rename: the destination is committed, so a durability
+  // failure below must not delete anything — report it and let the
+  // caller decide (the daemon treats it like any other failed save).
+  const std::string dir = parent_dir(path);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) throw IoError("cannot open parent directory for fsync", {.source = dir});
+  bool dir_ok = true;
+  try {
+    if (fault::active()) fault::fire("persist.save.dirsync");
+    dir_ok = ::fsync(dfd) == 0;
+  } catch (...) {
+    ::close(dfd);
+    throw;
   }
+  ::close(dfd);
+  if (!dir_ok) throw IoError("directory fsync failed", {.source = dir});
 }
 
 coverage::CoverageTrace load_trace(const std::string& path, BddManager& mgr) {

@@ -31,6 +31,34 @@ class ScopedFault {
   ScopedFault& operator=(const ScopedFault&) = delete;
 };
 
+/// Arms a value-shaping point (fault::fire_adjust) for one scope; disarms
+/// the whole registry on scope exit. Used for syscall-shaped faults in the
+/// service I/O layer: short reads/writes, EINTR, accept failures.
+class ScopedAdjustFault {
+ public:
+  ScopedAdjustFault(const std::string& point, std::function<int64_t(int64_t)> shape,
+                    uint64_t nth = 1) {
+    fault::arm_adjust(point, nth, std::move(shape));
+  }
+  ~ScopedAdjustFault() { fault::reset(); }
+
+  ScopedAdjustFault(const ScopedAdjustFault&) = delete;
+  ScopedAdjustFault& operator=(const ScopedAdjustFault&) = delete;
+};
+
+/// Shape: make the syscall fail with `err` (the wrapper sets errno = err
+/// and behaves as if the kernel refused the call). EINTR here exercises
+/// the retry loops; ECONNRESET/EIO exercise the error paths.
+inline std::function<int64_t(int64_t)> fail_with(int err) {
+  return [err](int64_t) { return -static_cast<int64_t>(err); };
+}
+
+/// Shape: cap the requested byte count at `n` — a short read/write. The
+/// full-I/O loops must absorb it without corrupting the stream.
+inline std::function<int64_t(int64_t)> cap_len(int64_t n) {
+  return [n](int64_t requested) { return requested < n ? requested : n; };
+}
+
 /// Action: simulate the OS refusing an I/O operation.
 inline std::function<void()> throw_io(std::string message) {
   return [message = std::move(message)] { throw ys::IoError(message); };

@@ -172,6 +172,42 @@ TEST_F(ResilienceTest, InterruptedWriteLeavesNoFileAtFreshDestination) {
   EXPECT_FALSE(exists(path + ".tmp"));
 }
 
+TEST_F(ResilienceTest, FailedFsyncAbortsTheSaveBeforeCommit) {
+  // fsync failing means the temp file's bytes may not be durable: the
+  // save must abort without renaming, leaving the old content in place.
+  trace_.mark_packet(net::to_location(tiny_.l1_host),
+                     PacketSet::dst_prefix(mgr_, tiny_.p1));
+  const std::string path = ::testing::TempDir() + "/resilience_fsync.trace";
+  save_trace(path, trace_, mgr_);
+  const std::string committed = slurp(path);
+  {
+    const ScopedFault boom("persist.save.fsync", testutil::throw_io("injected fsync"));
+    EXPECT_THROW(save_trace(path, trace_, mgr_), IoError);
+  }
+  EXPECT_EQ(slurp(path), committed);
+  EXPECT_FALSE(exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST_F(ResilienceTest, FailedDirectorySyncStillLeavesTheCommittedFile) {
+  // The parent-directory fsync makes the rename itself durable. If IT
+  // fails the rename has already happened: the error is reported, but
+  // the committed (complete, self-checksummed) file must never be
+  // deleted — deleting it would turn a maybe-lost rename into a
+  // certainly-lost trace.
+  const std::string path = ::testing::TempDir() + "/resilience_dirsync.trace";
+  std::remove(path.c_str());
+  {
+    const ScopedFault boom("persist.save.dirsync", testutil::throw_io("injected dirsync"));
+    EXPECT_THROW(save_trace(path, trace_, mgr_), IoError);
+  }
+  EXPECT_TRUE(exists(path));
+  EXPECT_FALSE(exists(path + ".tmp"));
+  bdd::BddManager mgr2(packet::kNumHeaderBits);
+  (void)load_trace(path, mgr2);  // complete and readable
+  std::remove(path.c_str());
+}
+
 // --- taxonomy plumbing ---
 
 TEST_F(ResilienceTest, ErrorCodesRoundTripThroughCatch) {

@@ -1,0 +1,512 @@
+// yardstickd resilience tests (src/service).
+//
+// Every robustness property the daemon claims is provoked here: WAL
+// durability and torn tails, crash recovery converging to canonical
+// bytes, idempotent re-delivery, backpressure under a stalled consumer,
+// injected syscall failures (EINTR, short read/write, refused accept),
+// and graceful drain. The fixture name matches the TSan CI job's
+// `-R "ParallelDeterminism|Resilience"` filter, so the daemon's thread
+// structure is also exercised under the race detector.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sys/stat.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "fault_injection.hpp"
+#include "netio/frame.hpp"
+#include "packet/fields.hpp"
+#include "packet/packet_set.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "service/io.hpp"
+#include "service/signal.hpp"
+#include "service/wal.hpp"
+#include "yardstick/persist.hpp"
+
+namespace yardstick {
+namespace {
+
+using packet::Ipv4Prefix;
+using packet::PacketSet;
+using testutil::ScopedAdjustFault;
+using testutil::ScopedFault;
+
+/// Runs a daemon's accept loop on a background thread for one test scope.
+struct DaemonHarness {
+  service::Daemon daemon;
+  std::thread runner;
+
+  explicit DaemonHarness(service::DaemonOptions opts) : daemon(std::move(opts)) {
+    daemon.start();
+    runner = std::thread([this] { daemon.run(); });
+  }
+  void stop_graceful() {
+    daemon.request_stop();
+    if (runner.joinable()) runner.join();
+    daemon.shutdown();
+  }
+  void stop_crash() {
+    daemon.request_stop();
+    if (runner.joinable()) runner.join();
+    daemon.crash_stop();
+  }
+  ~DaemonHarness() {
+    daemon.request_stop();
+    if (runner.joinable()) runner.join();
+  }
+};
+
+/// Keeps the consumer asleep for `stall` per batch by re-arming the
+/// daemon.consume.delay fault point after every firing.
+void arm_consumer_stall(std::chrono::milliseconds stall) {
+  fault::arm("daemon.consume.delay", 1, [stall] {
+    std::this_thread::sleep_for(stall);
+    arm_consumer_stall(stall);
+  });
+}
+
+class ServiceResilienceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = ::testing::TempDir() + "/svc_" + info->name() + "_" +
+           std::to_string(::getpid());
+    ::mkdir(dir_.c_str(), 0755);
+  }
+
+  // The daemon under test must be stopped before this runs (test body
+  // scope), so a re-arming stall action cannot resurrect after reset.
+  void TearDown() override { fault::reset(); }
+
+  [[nodiscard]] std::string path(const char* leaf) const { return dir_ + "/" + leaf; }
+
+  [[nodiscard]] static PacketSet prefix(bdd::BddManager& mgr, const char* cidr) {
+    return PacketSet::dst_prefix(mgr, Ipv4Prefix::parse(cidr));
+  }
+
+  /// The reference trace every ingest test reconstitutes.
+  [[nodiscard]] static coverage::CoverageTrace expected_trace(bdd::BddManager& mgr) {
+    coverage::CoverageTrace t;
+    t.mark_packet(1, prefix(mgr, "10.0.0.0/8"));
+    t.mark_packet(2, prefix(mgr, "10.2.0.0/16"));
+    t.mark_packet(9, prefix(mgr, "192.168.7.0/24"));
+    for (const uint32_t rid : {5u, 17u, 42u, 400u}) t.mark_rule(net::RuleId{rid});
+    return t;
+  }
+
+  /// Canonical bytes of the reference trace (manager-independent).
+  [[nodiscard]] static std::string expected_bytes() {
+    bdd::BddManager mgr(packet::kNumHeaderBits);
+    const coverage::CoverageTrace t = expected_trace(mgr);
+    return ys::serialize_trace(t, mgr);
+  }
+
+  [[nodiscard]] service::ClientOptions client_options(uint64_t session) const {
+    service::ClientOptions o;
+    o.socket_path = path("ys.sock");
+    o.session_id = session;
+    o.jitter_seed = session + 1;
+    o.backoff_base_ms = 5;
+    return o;
+  }
+
+  /// Stream the reference trace through a client, optionally as shard
+  /// `shard` of `shards` (locations in map order, then rules sorted —
+  /// the same deterministic split the CLI uses).
+  void send_expected(const service::ClientOptions& copts, size_t shard = 0,
+                     size_t shards = 1, size_t repeats = 1) {
+    bdd::BddManager mgr(packet::kNumHeaderBits);
+    const coverage::CoverageTrace t = expected_trace(mgr);
+    service::IngestClient client(copts);
+    for (size_t round = 0; round < repeats; ++round) {
+      size_t index = 0;
+      for (const auto& [loc, ps] : t.marked_packets().entries()) {
+        if (index++ % shards == shard) client.mark_packet(loc, ps);
+      }
+      for (const uint32_t rid : {5u, 17u, 42u, 400u}) {
+        if (index++ % shards == shard) client.mark_rule(net::RuleId{rid});
+      }
+      client.flush();
+    }
+    client.close();
+  }
+
+  std::string dir_;
+};
+
+// --- write-ahead journal ------------------------------------------------
+
+TEST_F(ServiceResilienceTest, WalRoundTripsRecords) {
+  service::Wal wal({.path = path("ys.wal"), .fsync = true});
+  wal.open_for_append();
+  wal.append("first record");
+  wal.append("second, longer record with bytes \x01\x02\x03");
+  const uint64_t grown = wal.bytes();
+
+  std::vector<std::string> seen;
+  const auto stats = service::Wal::replay(
+      path("ys.wal"), [&](std::string_view rec) { seen.emplace_back(rec); });
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_FALSE(stats.torn_tail);
+  EXPECT_FALSE(stats.bad_tail);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "first record");
+
+  wal.reset();
+  EXPECT_LT(wal.bytes(), grown);
+  const auto empty = service::Wal::replay(path("ys.wal"), [](std::string_view) {});
+  EXPECT_EQ(empty.records, 0u);
+}
+
+TEST_F(ServiceResilienceTest, WalMissingFileIsAnEmptyJournal) {
+  const auto stats = service::Wal::replay(path("absent.wal"), [](std::string_view) {});
+  EXPECT_EQ(stats.records, 0u);
+  EXPECT_FALSE(stats.torn_tail);
+}
+
+TEST_F(ServiceResilienceTest, WalTornTailIsDetectedAndDiscarded) {
+  service::Wal wal({.path = path("ys.wal"), .fsync = false});
+  wal.open_for_append();
+  wal.append("survives");
+  {
+    // A crash mid-append: record header promises 50 bytes, only 5 land.
+    std::ofstream torn(path("ys.wal"), std::ios::binary | std::ios::app);
+    std::string partial;
+    netio::put_u32(partial, 50);
+    netio::put_u64(partial, 0);
+    partial += "stub!";
+    torn << partial;
+  }
+  size_t records = 0;
+  const auto stats =
+      service::Wal::replay(path("ys.wal"), [&](std::string_view) { ++records; });
+  EXPECT_EQ(records, 1u);
+  EXPECT_TRUE(stats.torn_tail);
+}
+
+TEST_F(ServiceResilienceTest, WalChecksumMismatchStopsReplay) {
+  service::Wal wal({.path = path("ys.wal"), .fsync = false});
+  wal.open_for_append();
+  wal.append("good record");
+  wal.append("this one rots");
+  {
+    std::fstream f(path("ys.wal"), std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-3, std::ios::end);  // flip a bit inside the last payload
+    char c = 0;
+    f.seekg(-3, std::ios::end);
+    f.get(c);
+    f.seekp(-3, std::ios::end);
+    f.put(static_cast<char>(c ^ 0x20));
+  }
+  size_t records = 0;
+  const auto stats =
+      service::Wal::replay(path("ys.wal"), [&](std::string_view) { ++records; });
+  EXPECT_EQ(records, 1u);
+  EXPECT_TRUE(stats.bad_tail);
+}
+
+TEST_F(ServiceResilienceTest, WalFsyncFailureFailsTheAppend) {
+  service::Wal wal({.path = path("ys.wal"), .fsync = true});
+  wal.open_for_append();
+  const ScopedFault boom("wal.append.fsync", testutil::throw_io("injected fsync"));
+  // The batch must not be acknowledged: append() reports the failure.
+  EXPECT_THROW(wal.append("never durable"), ys::IoError);
+}
+
+TEST_F(ServiceResilienceTest, WalShortWriteIsAbsorbedByTheFullWriteLoop) {
+  service::Wal wal({.path = path("ys.wal"), .fsync = false});
+  wal.open_for_append();
+  const ScopedAdjustFault chop("wal.write.len", testutil::cap_len(3));
+  wal.append("a record far longer than three bytes");
+  std::vector<std::string> seen;
+  service::Wal::replay(path("ys.wal"),
+                       [&](std::string_view rec) { seen.emplace_back(rec); });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "a record far longer than three bytes");
+}
+
+// --- syscall wrappers ---------------------------------------------------
+
+TEST_F(ServiceResilienceTest, IoWrappersRetryEintrAndAbsorbShortOps) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  service::Fd rd(fds[0]), wr(fds[1]);
+
+  {  // EINTR on write: the wrapper retries transparently.
+    const ScopedAdjustFault intr("net.write.pre", testutil::fail_with(EINTR));
+    EXPECT_TRUE(service::io_write_full(wr.get(), "hello", 5, "net.write"));
+  }
+  {  // Short read: the caller sees fewer bytes, not an error.
+    const ScopedAdjustFault chop("net.read.len", testutil::cap_len(2));
+    char buf[8] = {};
+    EXPECT_EQ(service::io_read(rd.get(), buf, 5, "net.read"), 2);
+    EXPECT_EQ(service::io_read(rd.get(), buf, 5, "net.read"), 3);  // the rest
+  }
+  {  // EINTR on read: retried until the kernel answers.
+    const ScopedAdjustFault intr("net.read.pre", testutil::fail_with(EINTR));
+    EXPECT_TRUE(service::io_write_full(wr.get(), "x", 1, "net.write"));
+    char buf[4] = {};
+    EXPECT_EQ(service::io_read(rd.get(), buf, 4, "net.read"), 1);
+  }
+  {  // A hard error surfaces as a failed call with errno set.
+    const ScopedAdjustFault reset_err("net.read.pre", testutil::fail_with(ECONNRESET));
+    char buf[4] = {};
+    EXPECT_EQ(service::io_read(rd.get(), buf, 4, "net.read"), -1);
+    EXPECT_EQ(errno, ECONNRESET);
+  }
+  {  // Short write: io_write_full loops until every byte is out.
+    const ScopedAdjustFault chop("net.write.len", testutil::cap_len(1));
+    EXPECT_TRUE(service::io_write_full(wr.get(), "abcdef", 6, "net.write"));
+    char buf[8] = {};
+    EXPECT_EQ(service::io_read(rd.get(), buf, 6, "net.read"), 6);
+  }
+}
+
+// --- daemon end to end --------------------------------------------------
+
+TEST_F(ServiceResilienceTest, IngestThroughDaemonMatchesDirectTrace) {
+  service::DaemonOptions opts;
+  opts.socket_path = path("ys.sock");
+  opts.wal_path = path("ys.wal");
+  opts.snapshot_path = path("ys.trace");
+  DaemonHarness h(std::move(opts));
+
+  send_expected(client_options(1));
+  h.stop_graceful();
+
+  EXPECT_EQ(h.daemon.serialized_trace(), expected_bytes());
+  const service::DaemonStats s = h.daemon.stats();
+  EXPECT_EQ(s.sessions, 1u);
+  EXPECT_GE(s.batches, 1u);
+  EXPECT_EQ(s.rejected_batches, 0u);
+  // The shutdown snapshot holds exactly the canonical bytes.
+  bdd::BddManager mgr(packet::kNumHeaderBits);
+  const coverage::CoverageTrace reloaded = ys::load_trace(path("ys.trace"), mgr);
+  EXPECT_EQ(ys::serialize_trace(reloaded, mgr), expected_bytes());
+}
+
+TEST_F(ServiceResilienceTest, ShardedSessionsMergeDeterministically) {
+  service::DaemonOptions opts;
+  opts.socket_path = path("ys.sock");
+  DaemonHarness h(std::move(opts));
+
+  // Interleaved halves from two concurrent sessions, like parallel test
+  // shards; the merged result must be exactly the whole trace.
+  std::thread a([&] { send_expected(client_options(1), 0, 2); });
+  std::thread b([&] { send_expected(client_options(2), 1, 2); });
+  a.join();
+  b.join();
+  h.stop_graceful();
+
+  EXPECT_EQ(h.daemon.serialized_trace(), expected_bytes());
+  EXPECT_EQ(h.daemon.stats().sessions, 2u);
+}
+
+TEST_F(ServiceResilienceTest, ReDeliveryIsIdempotent) {
+  service::DaemonOptions opts;
+  opts.socket_path = path("ys.sock");
+  DaemonHarness h(std::move(opts));
+
+  // The same events delivered three times (lost-ack replays): a union
+  // merge must not double-count anything.
+  send_expected(client_options(1), 0, 1, /*repeats=*/3);
+  h.stop_graceful();
+  EXPECT_EQ(h.daemon.serialized_trace(), expected_bytes());
+}
+
+TEST_F(ServiceResilienceTest, CrashRecoveryConvergesToTheSameBytes) {
+  service::DaemonOptions opts;
+  opts.socket_path = path("ys.sock");
+  opts.wal_path = path("ys.wal");
+  opts.snapshot_path = path("ys.trace");
+
+  {  // First life: ingest, then die without drain or snapshot.
+    DaemonHarness h(opts);
+    send_expected(client_options(1));
+    h.stop_crash();
+    EXPECT_EQ(h.daemon.stats().compactions, 0u);
+  }
+  {  // Second life: the journal alone reconstitutes the trace.
+    DaemonHarness h(opts);
+    const service::DaemonStats s = h.daemon.stats();
+    EXPECT_GE(s.recovered_records, 1u);
+    // A client that never learned of its acks re-delivers everything —
+    // recovery plus re-delivery still converge (idempotent union).
+    send_expected(client_options(1));
+    h.stop_graceful();
+    EXPECT_EQ(h.daemon.serialized_trace(), expected_bytes());
+  }
+  {  // Third life: snapshot-only recovery (the WAL was truncated).
+    DaemonHarness h(opts);
+    const service::DaemonStats s = h.daemon.stats();
+    EXPECT_TRUE(s.recovered_snapshot);
+    EXPECT_EQ(s.recovered_records, 0u);
+    h.stop_graceful();
+    EXPECT_EQ(h.daemon.serialized_trace(), expected_bytes());
+  }
+}
+
+TEST_F(ServiceResilienceTest, TornWalTailSurvivesRecovery) {
+  service::DaemonOptions opts;
+  opts.socket_path = path("ys.sock");
+  opts.wal_path = path("ys.wal");
+  opts.snapshot_path = path("ys.trace");
+  {
+    DaemonHarness h(opts);
+    send_expected(client_options(1));
+    h.stop_crash();
+  }
+  {  // kill -9 mid-append: garbage after the last complete record.
+    std::ofstream torn(path("ys.wal"), std::ios::binary | std::ios::app);
+    std::string partial;
+    netio::put_u32(partial, 9999);
+    netio::put_u64(partial, 0x1234);
+    partial += "torn";
+    torn << partial;
+  }
+  DaemonHarness h(opts);
+  const service::DaemonStats s = h.daemon.stats();
+  EXPECT_GE(s.recovered_records, 1u);
+  EXPECT_TRUE(s.recovered_torn_tail);
+  h.stop_graceful();
+  EXPECT_EQ(h.daemon.serialized_trace(), expected_bytes());
+}
+
+TEST_F(ServiceResilienceTest, FullQueueAnswersBusyAndClientsRecover) {
+  service::DaemonOptions opts;
+  opts.socket_path = path("ys.sock");
+  opts.queue_capacity = 1;  // the tightest memory bound
+  opts.busy_retry_ms = 10;
+  DaemonHarness h(std::move(opts));
+
+  // Stall the consumer so three concurrent producers overrun a queue of
+  // one: at least one push must be answered with explicit backpressure.
+  arm_consumer_stall(std::chrono::milliseconds(300));
+  std::vector<std::thread> clients;
+  for (uint64_t session = 1; session <= 3; ++session) {
+    clients.emplace_back([this, session] {
+      service::ClientOptions o = client_options(session);
+      o.max_attempts = 50;
+      service::IngestClient client(o);
+      client.mark_rule(net::RuleId{static_cast<uint32_t>(100 + session)});
+      client.close();
+    });
+  }
+  for (auto& t : clients) t.join();
+  h.stop_graceful();
+  fault::reset();  // consumer is joined; the stall cannot re-arm now
+
+  const service::DaemonStats s = h.daemon.stats();
+  EXPECT_GE(s.busy_rejections, 1u);
+  // Backpressure lost nothing: all three marks arrived exactly once.
+  bdd::BddManager mgr(packet::kNumHeaderBits);
+  const coverage::CoverageTrace merged = h.daemon.merged_trace(mgr);
+  EXPECT_EQ(merged.marked_rules().size(), 3u);
+  for (const uint32_t rid : {101u, 102u, 103u}) {
+    EXPECT_TRUE(merged.rule_marked(net::RuleId{rid}));
+  }
+}
+
+TEST_F(ServiceResilienceTest, RefusedAcceptDoesNotKillTheDaemon) {
+  service::DaemonOptions opts;
+  opts.socket_path = path("ys.sock");
+  DaemonHarness h(std::move(opts));
+
+  // The daemon's very next accept fails (fd exhaustion); the listener
+  // stays readable, the retry accepts, the client never notices.
+  const ScopedAdjustFault no_fds("net.accept.pre", testutil::fail_with(EMFILE));
+  send_expected(client_options(1));
+  h.stop_graceful();
+
+  EXPECT_EQ(h.daemon.stats().accept_failures, 1u);
+  EXPECT_EQ(h.daemon.serialized_trace(), expected_bytes());
+}
+
+TEST_F(ServiceResilienceTest, CorruptFrameClosesTheConnectionNotTheDaemon) {
+  service::DaemonOptions opts;
+  opts.socket_path = path("ys.sock");
+  DaemonHarness h(std::move(opts));
+
+  {  // A peer speaking garbage is refused loudly and disconnected.
+    service::Fd raw = service::connect_unix(path("ys.sock"));
+    ASSERT_TRUE(raw.valid());
+    const std::string garbage(64, 'Z');
+    ASSERT_TRUE(service::io_write_full(raw.get(), garbage.data(), garbage.size(),
+                                       "net.write"));
+    char buf[512];
+    ssize_t n = 0;
+    size_t total = 0;
+    while ((n = service::io_read(raw.get(), buf, sizeof(buf), "net.read")) > 0) {
+      total += static_cast<size_t>(n);  // Error frame, then EOF
+    }
+    EXPECT_GT(total, 0u);
+  }
+  // The daemon is still serving: a well-behaved client succeeds.
+  send_expected(client_options(1));
+  h.stop_graceful();
+  EXPECT_GE(h.daemon.stats().corrupt_frames, 1u);
+  EXPECT_EQ(h.daemon.serialized_trace(), expected_bytes());
+}
+
+TEST_F(ServiceResilienceTest, BatchBeforeHelloIsRejected) {
+  service::DaemonOptions opts;
+  opts.socket_path = path("ys.sock");
+  DaemonHarness h(std::move(opts));
+
+  service::Fd raw = service::connect_unix(path("ys.sock"));
+  ASSERT_TRUE(raw.valid());
+  const std::string frame = netio::encode_frame(netio::FrameType::Batch, 1, "");
+  ASSERT_TRUE(service::io_write_full(raw.get(), frame.data(), frame.size(),
+                                     "net.write"));
+  std::string buffer;
+  char buf[512];
+  ssize_t n = 0;
+  while ((n = service::io_read(raw.get(), buf, sizeof(buf), "net.read")) > 0) {
+    buffer.append(buf, static_cast<size_t>(n));
+  }
+  const netio::DecodeResult r = netio::decode_frame(buffer);
+  ASSERT_EQ(r.status, netio::DecodeStatus::Ok);
+  EXPECT_EQ(r.frame.type, netio::FrameType::Error);
+  h.stop_graceful();
+}
+
+TEST_F(ServiceResilienceTest, VariableUniverseMismatchIsRefusedAtHello) {
+  service::DaemonOptions opts;
+  opts.socket_path = path("ys.sock");
+  DaemonHarness h(std::move(opts));
+
+  service::ClientOptions o = client_options(1);
+  o.num_vars = 8;      // daemon speaks 104
+  o.max_attempts = 2;  // permanent refusal: fail fast
+  o.backoff_base_ms = 1;
+  service::IngestClient client(o);
+  client.mark_rule(net::RuleId{1});
+  EXPECT_THROW(client.flush(), ys::IoError);
+  h.stop_graceful();
+  EXPECT_EQ(h.daemon.stats().batches, 0u);
+}
+
+TEST_F(ServiceResilienceTest, SignalFdWakesTheAcceptLoop) {
+  service::DaemonOptions opts;
+  opts.socket_path = path("ys.sock");
+  opts.snapshot_path = path("ys.trace");
+  service::Daemon daemon(std::move(opts));
+  daemon.start();
+
+  service::ShutdownSignal& sig = service::ShutdownSignal::install();
+  std::thread runner([&] { daemon.run(sig.fd()); });
+  send_expected(client_options(1));
+  sig.trigger();  // what the SIGTERM handler does, minus the raise
+  runner.join();
+  EXPECT_TRUE(sig.requested());
+  daemon.shutdown();
+  EXPECT_EQ(daemon.serialized_trace(), expected_bytes());
+}
+
+}  // namespace
+}  // namespace yardstick

@@ -1,0 +1,190 @@
+// Property tests for CoverageTrace::merge — the algebra the daemon's
+// crash-recovery story rests on.
+//
+// yardstickd may apply the same delta twice (WAL replay + client
+// re-delivery), in any arrival order, sharded across any number of
+// sessions. Recovery converging to bit-identical snapshots therefore
+// requires merge to be associative, commutative and idempotent, with
+// canonical persist-v2 bytes as the equality oracle. These tests state
+// exactly those laws over randomized traces (seeded xorshift — failures
+// replay).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "coverage/trace.hpp"
+#include "packet/fields.hpp"
+#include "packet/packet_set.hpp"
+#include "yardstick/persist.hpp"
+
+namespace yardstick {
+namespace {
+
+using coverage::CoverageTrace;
+using packet::Ipv4Prefix;
+using packet::PacketSet;
+
+/// Deterministic PRNG: the same seed always builds the same traces.
+struct XorShift {
+  uint64_t state;
+  explicit XorShift(uint64_t seed) : state(seed | 1) {}
+  uint64_t next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+  uint64_t below(uint64_t n) { return next() % n; }
+};
+
+class TraceMergeProperty : public ::testing::Test {
+ protected:
+  [[nodiscard]] PacketSet random_prefix(XorShift& rng) {
+    const uint32_t addr = static_cast<uint32_t>(rng.next());
+    const uint8_t len = static_cast<uint8_t>(8 + rng.below(21));  // /8../28
+    const uint32_t mask = len == 0 ? 0 : ~uint32_t{0} << (32 - len);
+    const uint32_t base = addr & mask;
+    const std::string cidr = std::to_string((base >> 24) & 0xff) + "." +
+                             std::to_string((base >> 16) & 0xff) + "." +
+                             std::to_string((base >> 8) & 0xff) + "." +
+                             std::to_string(base & 0xff) + "/" + std::to_string(len);
+    return PacketSet::dst_prefix(mgr_, Ipv4Prefix::parse(cidr));
+  }
+
+  /// A random trace: a handful of located packet sets (locations drawn
+  /// from a small pool so traces overlap) and a handful of rules.
+  [[nodiscard]] CoverageTrace random_trace(XorShift& rng) {
+    CoverageTrace t;
+    const size_t locations = 1 + rng.below(4);
+    for (size_t i = 0; i < locations; ++i) {
+      t.mark_packet(static_cast<packet::LocationId>(1 + rng.below(6)),
+                    random_prefix(rng));
+    }
+    const size_t rules = rng.below(5);
+    for (size_t i = 0; i < rules; ++i) {
+      t.mark_rule(net::RuleId{static_cast<uint32_t>(rng.below(64))});
+    }
+    return t;
+  }
+
+  /// Equality oracle: canonical persist-v2 bytes (sorted rules, location
+  /// order fixed, ROBDD emission deterministic).
+  [[nodiscard]] std::string canon(const CoverageTrace& t) {
+    return ys::serialize_trace(t, mgr_);
+  }
+
+  [[nodiscard]] static CoverageTrace merged(const CoverageTrace& a,
+                                            const CoverageTrace& b) {
+    CoverageTrace out;
+    out.merge(a);
+    out.merge(b);
+    return out;
+  }
+
+  bdd::BddManager mgr_{packet::kNumHeaderBits};
+};
+
+TEST_F(TraceMergeProperty, MergeIsCommutative) {
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    XorShift rng(seed * 0x9e3779b97f4a7c15ull);
+    const CoverageTrace a = random_trace(rng);
+    const CoverageTrace b = random_trace(rng);
+    EXPECT_EQ(canon(merged(a, b)), canon(merged(b, a))) << "seed " << seed;
+  }
+}
+
+TEST_F(TraceMergeProperty, MergeIsAssociative) {
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    XorShift rng(seed * 0xd1b54a32d192ed03ull);
+    const CoverageTrace a = random_trace(rng);
+    const CoverageTrace b = random_trace(rng);
+    const CoverageTrace c = random_trace(rng);
+    CoverageTrace left = merged(a, b);
+    left.merge(c);
+    CoverageTrace right = random_trace(rng);  // overwritten below
+    right = merged(b, c);
+    CoverageTrace a_then_right;
+    a_then_right.merge(a);
+    a_then_right.merge(right);
+    EXPECT_EQ(canon(left), canon(a_then_right)) << "seed " << seed;
+  }
+}
+
+TEST_F(TraceMergeProperty, MergeIsIdempotent) {
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    XorShift rng(seed * 0xbf58476d1ce4e5b9ull);
+    const CoverageTrace a = random_trace(rng);
+    CoverageTrace once;
+    once.merge(a);
+    CoverageTrace thrice;  // re-delivered deltas after a lost ack
+    thrice.merge(a);
+    thrice.merge(a);
+    thrice.merge(a);
+    EXPECT_EQ(canon(once), canon(thrice)) << "seed " << seed;
+    EXPECT_EQ(canon(once), canon(a)) << "seed " << seed;
+  }
+}
+
+TEST_F(TraceMergeProperty, ShardOrderNeverChangesTheMergedTrace) {
+  // The daemon merges per-session traces in session-id order precisely so
+  // arrival interleaving cannot matter; this checks the stronger claim
+  // that ANY merge order yields the same canonical bytes.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    XorShift rng(seed * 0x94d049bb133111ebull);
+    std::vector<CoverageTrace> shards;
+    shards.reserve(5);
+    for (size_t i = 0; i < 5; ++i) shards.push_back(random_trace(rng));
+
+    std::vector<size_t> order(shards.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::string reference;
+    for (int permutation = 0; permutation < 16; ++permutation) {
+      CoverageTrace total;
+      for (const size_t i : order) total.merge(shards[i]);
+      const std::string bytes = canon(total);
+      if (reference.empty()) {
+        reference = bytes;
+      } else {
+        EXPECT_EQ(bytes, reference) << "seed " << seed << " perm " << permutation;
+      }
+      // Deterministic shuffle of the merge order.
+      for (size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[rng.below(i)]);
+      }
+    }
+  }
+}
+
+TEST_F(TraceMergeProperty, MergeMatchesTheUnionOfMarkCalls) {
+  // Sharding a stream of mark calls across traces and merging must equal
+  // making every call on one trace — the exact claim behind running test
+  // shards against separate daemon sessions.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    XorShift rng(seed * 0x2545f4914f6cdd1dull);
+    CoverageTrace whole;
+    std::vector<CoverageTrace> shards(3);
+    for (int call = 0; call < 24; ++call) {
+      const size_t shard = rng.below(shards.size());
+      if (rng.below(2) == 0) {
+        const auto loc = static_cast<packet::LocationId>(1 + rng.below(6));
+        const PacketSet ps = random_prefix(rng);
+        whole.mark_packet(loc, ps);
+        shards[shard].mark_packet(loc, ps);
+      } else {
+        const net::RuleId rid{static_cast<uint32_t>(rng.below(64))};
+        whole.mark_rule(rid);
+        shards[shard].mark_rule(rid);
+      }
+    }
+    CoverageTrace total;
+    for (const CoverageTrace& s : shards) total.merge(s);
+    EXPECT_EQ(canon(total), canon(whole)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace yardstick

@@ -9,6 +9,11 @@
 //   yardstick regional --suite final --acl --save-trace trace.txt
 //   yardstick regional --load-trace trace.txt
 //
+// Daemon mode (yardstickd, the fault-tolerant online phase):
+//   yardstick serve --socket /run/ys.sock --wal ys.wal --snapshot ys.trace
+//   yardstick ingest fattree --k 8 --socket /run/ys.sock --session 1
+//   yardstick ingest-replay --wal ys.wal --save-trace recovered.trace
+//
 // Exit codes map the error taxonomy so scripts can dispatch on failures:
 //   0 all tests passed          4 corrupt trace file
 //   1 test failures             5 I/O error
@@ -36,6 +41,9 @@
 #include "topo/acl.hpp"
 #include "topo/fattree.hpp"
 #include "topo/regional.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "service/signal.hpp"
 #include "yardstick/analysis.hpp"
 #include "yardstick/engine.hpp"
 #include "yardstick/json.hpp"
@@ -373,9 +381,368 @@ int run(const CliOptions& opts) {
   return code;
 }
 
+// --- daemon-mode subcommands --------------------------------------------
+
+int serve_usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s serve [options]\n"
+               "  --socket PATH        unix-domain listener (default: none)\n"
+               "  --tcp PORT           TCP listener on 127.0.0.1\n"
+               "  --wal FILE           write-ahead journal (durable-before-ack)\n"
+               "  --snapshot FILE      snapshot for compaction + graceful shutdown\n"
+               "  --queue N            ingress queue bound (default 1024)\n"
+               "  --compact-bytes N    compact once the WAL exceeds N bytes\n"
+               "  --no-fsync           skip per-append fsync (throughput over durability)\n"
+               "  --metrics-out FILE   write ingest metrics JSON (+ FILE.prom) at exit\n"
+               "  --json               machine-readable stats on shutdown\n"
+               "At least one of --socket/--tcp is required. SIGTERM/SIGINT drain\n"
+               "accepted batches, snapshot, truncate the WAL and exit 0; a second\n"
+               "signal aborts immediately.\n",
+               argv0);
+  return 2;
+}
+
+int run_serve(int argc, char** argv) {
+  service::DaemonOptions dopts;
+  bool json = false;
+  std::optional<std::string> metrics_out;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--socket") {
+      const char* v = next();
+      if (v == nullptr) return serve_usage(argv[0]);
+      dopts.socket_path = v;
+    } else if (arg == "--tcp") {
+      const char* v = next();
+      const int port = v != nullptr ? std::atoi(v) : 0;
+      if (port < 1 || port > 65535) return serve_usage(argv[0]);
+      dopts.tcp_port = static_cast<uint16_t>(port);
+    } else if (arg == "--wal") {
+      const char* v = next();
+      if (v == nullptr) return serve_usage(argv[0]);
+      dopts.wal_path = v;
+    } else if (arg == "--snapshot") {
+      const char* v = next();
+      if (v == nullptr) return serve_usage(argv[0]);
+      dopts.snapshot_path = v;
+    } else if (arg == "--queue") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) <= 0) return serve_usage(argv[0]);
+      dopts.queue_capacity = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--compact-bytes") {
+      const char* v = next();
+      if (v == nullptr || std::atoll(v) <= 0) return serve_usage(argv[0]);
+      dopts.compact_wal_bytes = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--no-fsync") {
+      dopts.wal_fsync = false;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return serve_usage(argv[0]);
+      metrics_out = v;
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      return serve_usage(argv[0]);
+    }
+  }
+  if (dopts.socket_path.empty() && dopts.tcp_port == 0) return serve_usage(argv[0]);
+  if (metrics_out) obs::set_enabled(true);
+
+  service::ShutdownSignal& sig = service::ShutdownSignal::install();
+  service::Daemon daemon(std::move(dopts));
+  daemon.start();
+  const service::DaemonStats at_start = daemon.stats();
+  // The readiness line is the CI handshake: once it appears (flushed),
+  // clients may connect.
+  std::printf("yardstickd ready");
+  if (daemon.tcp_port() != 0) std::printf(" tcp=%u", daemon.tcp_port());
+  std::printf(" recovered_records=%llu recovered_snapshot=%d\n",
+              static_cast<unsigned long long>(at_start.recovered_records),
+              at_start.recovered_snapshot ? 1 : 0);
+  std::fflush(stdout);
+
+  daemon.run(sig.fd());
+  daemon.shutdown();
+
+  const service::DaemonStats s = daemon.stats();
+  if (json) {
+    std::printf("{\"connections\":%llu,\"frames\":%llu,\"batches\":%llu,"
+                "\"events\":%llu,\"busy_rejections\":%llu,\"rejected_batches\":%llu,"
+                "\"corrupt_frames\":%llu,\"accept_failures\":%llu,"
+                "\"compactions\":%llu,\"sessions\":%llu,"
+                "\"recovered_records\":%llu,\"recovered_torn_tail\":%s}\n",
+                static_cast<unsigned long long>(s.connections),
+                static_cast<unsigned long long>(s.frames),
+                static_cast<unsigned long long>(s.batches),
+                static_cast<unsigned long long>(s.events),
+                static_cast<unsigned long long>(s.busy_rejections),
+                static_cast<unsigned long long>(s.rejected_batches),
+                static_cast<unsigned long long>(s.corrupt_frames),
+                static_cast<unsigned long long>(s.accept_failures),
+                static_cast<unsigned long long>(s.compactions),
+                static_cast<unsigned long long>(s.sessions),
+                static_cast<unsigned long long>(s.recovered_records),
+                s.recovered_torn_tail ? "true" : "false");
+  } else {
+    std::printf("yardstickd drained: %llu batches (%llu events) from %llu "
+                "connections, %llu sessions, %llu busy rejections\n",
+                static_cast<unsigned long long>(s.batches),
+                static_cast<unsigned long long>(s.events),
+                static_cast<unsigned long long>(s.connections),
+                static_cast<unsigned long long>(s.sessions),
+                static_cast<unsigned long long>(s.busy_rejections));
+  }
+  if (metrics_out) {
+    write_file(*metrics_out, obs::metrics().to_json());
+    write_file(*metrics_out + ".prom", obs::metrics().to_prometheus());
+  }
+  return 0;
+}
+
+int ingest_usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s ingest <fattree|regional> [options]\n"
+               "  --k N                fat-tree arity (default 4)\n"
+               "  --suite NAME         original|new|final|fattree (default final)\n"
+               "  --acl                install ToR ingress ACLs and ACL tests\n"
+               "  --socket PATH        daemon unix socket\n"
+               "  --tcp-port N         daemon TCP port (127.0.0.1)\n"
+               "  --session ID         session identity (default 1)\n"
+               "  --shard I M          send only shard I of M (deterministic split)\n"
+               "  --batch-events N     auto-flush threshold (default 64)\n"
+               "  --max-attempts N     per-batch retry cap (default 8)\n"
+               "  --backoff-base-ms N  first retry delay (default 10)\n"
+               "  --ack-timeout-ms N   per-reply wait (default 5000)\n"
+               "  --json               machine-readable stats\n",
+               argv0);
+  return 2;
+}
+
+int run_ingest(int argc, char** argv) {
+  if (argc < 3) return ingest_usage(argv[0]);
+  const std::string topology = argv[2];
+  if (topology != "fattree" && topology != "regional") return ingest_usage(argv[0]);
+  int k = 4;
+  std::string suite_name = "final";
+  bool with_acl = false;
+  bool json = false;
+  size_t shard = 0, shards = 1;
+  service::ClientOptions copts;
+  copts.batch_events = 64;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--k") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) <= 0) return ingest_usage(argv[0]);
+      k = std::atoi(v);
+    } else if (arg == "--suite") {
+      const char* v = next();
+      if (v == nullptr) return ingest_usage(argv[0]);
+      suite_name = v;
+    } else if (arg == "--acl") {
+      with_acl = true;
+    } else if (arg == "--socket") {
+      const char* v = next();
+      if (v == nullptr) return ingest_usage(argv[0]);
+      copts.socket_path = v;
+    } else if (arg == "--tcp-port") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) <= 0) return ingest_usage(argv[0]);
+      copts.tcp_port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--session") {
+      const char* v = next();
+      if (v == nullptr || std::atoll(v) <= 0) return ingest_usage(argv[0]);
+      copts.session_id = static_cast<uint64_t>(std::atoll(v));
+      copts.jitter_seed = copts.session_id * 0x9e3779b97f4a7c15ull + 1;
+    } else if (arg == "--shard") {
+      const char* a = next();
+      const char* b = next();
+      if (a == nullptr || b == nullptr) return ingest_usage(argv[0]);
+      shard = static_cast<size_t>(std::atoll(a));
+      shards = static_cast<size_t>(std::atoll(b));
+      if (shards == 0 || shard >= shards) return ingest_usage(argv[0]);
+    } else if (arg == "--batch-events") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) <= 0) return ingest_usage(argv[0]);
+      copts.batch_events = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--max-attempts") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) <= 0) return ingest_usage(argv[0]);
+      copts.max_attempts = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--backoff-base-ms") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) <= 0) return ingest_usage(argv[0]);
+      copts.backoff_base_ms = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--ack-timeout-ms") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) <= 0) return ingest_usage(argv[0]);
+      copts.ack_timeout_ms = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      return ingest_usage(argv[0]);
+    }
+  }
+  if (copts.socket_path.empty() && copts.tcp_port == 0) return ingest_usage(argv[0]);
+
+  // Run the suite locally into a trace, exactly like the in-process path.
+  CliOptions sopts;
+  sopts.topology = topology;
+  sopts.k = k;
+  sopts.suite = suite_name;
+  sopts.with_acl = with_acl;
+  net::Network* network = nullptr;
+  routing::RoutingConfig* routing = nullptr;
+  std::vector<net::DeviceId> tors;
+  topo::FatTree fattree;
+  topo::RegionalNetwork regional;
+  if (topology == "fattree") {
+    fattree = topo::make_fat_tree({.k = k});
+    network = &fattree.network;
+    routing = &fattree.routing;
+    tors = fattree.tors;
+  } else {
+    regional = topo::make_regional(sopts.regional);
+    network = &regional.network;
+    routing = &regional.routing;
+    tors = regional.tors;
+  }
+  routing::FibBuilder::compute_and_build(*network, *routing);
+  if (with_acl) topo::install_ingress_acls(*network, tors);
+
+  bdd::BddManager mgr(packet::kNumHeaderBits);
+  ys::CoverageTracker tracker;
+  const dataplane::MatchSetIndex match_sets(mgr, *network);
+  const dataplane::Transfer transfer(match_sets);
+  const std::unordered_set<net::DeviceId> excluded(routing->no_default_devices.begin(),
+                                                   routing->no_default_devices.end());
+  const nettest::TestSuite suite = build_suite(sopts, excluded);
+  size_t failures = 0;
+  for (const auto& r : suite.run_all(transfer, tracker)) failures += r.failures;
+  const coverage::CoverageTrace& trace = tracker.trace();
+
+  // Stream the trace to the daemon, optionally as one deterministic
+  // shard: locations in map order, then rules sorted — so shard i of m
+  // from concurrent processes unions back to exactly the full trace.
+  service::IngestClient client(copts);
+  size_t index = 0;
+  for (const auto& [loc, ps] : trace.marked_packets().entries()) {
+    if (index++ % shards == shard) client.mark_packet(loc, ps);
+  }
+  std::vector<uint32_t> rules;
+  rules.reserve(trace.marked_rules().size());
+  for (const net::RuleId rid : trace.marked_rules()) rules.push_back(rid.value);
+  std::sort(rules.begin(), rules.end());
+  for (const uint32_t rid : rules) {
+    if (index++ % shards == shard) client.mark_rule(net::RuleId{rid});
+  }
+  client.close();
+
+  const service::ClientStats& cs = client.stats();
+  if (json) {
+    std::printf("{\"flushes\":%llu,\"events_sent\":%llu,\"retries\":%llu,"
+                "\"busy_backoffs\":%llu,\"reconnects\":%llu,\"test_failures\":%zu}\n",
+                static_cast<unsigned long long>(cs.flushes),
+                static_cast<unsigned long long>(cs.events_sent),
+                static_cast<unsigned long long>(cs.retries),
+                static_cast<unsigned long long>(cs.busy_backoffs),
+                static_cast<unsigned long long>(cs.reconnects), failures);
+  } else {
+    std::printf("ingested %llu events in %llu batches (%llu retries, %llu busy, "
+                "%llu connections)\n",
+                static_cast<unsigned long long>(cs.events_sent),
+                static_cast<unsigned long long>(cs.flushes),
+                static_cast<unsigned long long>(cs.retries),
+                static_cast<unsigned long long>(cs.busy_backoffs),
+                static_cast<unsigned long long>(cs.reconnects));
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int ingest_replay_usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s ingest-replay --wal FILE [--snapshot FILE] "
+               "--save-trace OUT [--json]\n"
+               "Offline recovery: rebuild the merged trace a daemon would\n"
+               "recover from the snapshot plus journal, and persist it.\n",
+               argv0);
+  return 2;
+}
+
+int run_ingest_replay(int argc, char** argv) {
+  std::string wal_path, snapshot_path, out_path;
+  bool json = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--wal") {
+      const char* v = next();
+      if (v == nullptr) return ingest_replay_usage(argv[0]);
+      wal_path = v;
+    } else if (arg == "--snapshot") {
+      const char* v = next();
+      if (v == nullptr) return ingest_replay_usage(argv[0]);
+      snapshot_path = v;
+    } else if (arg == "--save-trace") {
+      const char* v = next();
+      if (v == nullptr) return ingest_replay_usage(argv[0]);
+      out_path = v;
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      return ingest_replay_usage(argv[0]);
+    }
+  }
+  if (wal_path.empty() && snapshot_path.empty()) return ingest_replay_usage(argv[0]);
+
+  bdd::BddManager mgr(packet::kNumHeaderBits);
+  service::DaemonStats stats;
+  const coverage::CoverageTrace trace =
+      service::recover_trace(snapshot_path, wal_path, mgr, &stats);
+  if (!out_path.empty()) ys::save_trace(out_path, trace, mgr);
+  if (json) {
+    std::printf("{\"recovered_records\":%llu,\"sessions\":%llu,"
+                "\"recovered_snapshot\":%s,\"torn_tail\":%s,"
+                "\"rejected_records\":%llu}\n",
+                static_cast<unsigned long long>(stats.recovered_records),
+                static_cast<unsigned long long>(stats.sessions),
+                stats.recovered_snapshot ? "true" : "false",
+                stats.recovered_torn_tail ? "true" : "false",
+                static_cast<unsigned long long>(stats.rejected_batches));
+  } else {
+    std::printf("replayed %llu journal records (%llu sessions%s%s)%s%s\n",
+                static_cast<unsigned long long>(stats.recovered_records),
+                static_cast<unsigned long long>(stats.sessions),
+                stats.recovered_snapshot ? ", snapshot loaded" : "",
+                stats.recovered_torn_tail ? ", torn tail discarded" : "",
+                out_path.empty() ? "" : ", saved to ", out_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Daemon-mode subcommands dispatch before the topology grammar.
+  if (argc >= 2) {
+    const std::string cmd = argv[1];
+    try {
+      if (cmd == "serve") return run_serve(argc, argv);
+      if (cmd == "ingest") return run_ingest(argc, argv);
+      if (cmd == "ingest-replay") return run_ingest_replay(argc, argv);
+    } catch (const ys::StatusError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return exit_code_for(e.code());
+    } catch (const ys::InvalidInputError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return exit_code_for(e.code());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "internal error: %s\n", e.what());
+      return 10;
+    }
+  }
   const std::optional<CliOptions> parsed = parse(argc, argv);
   if (!parsed) return usage(argv[0]);
   try {
