@@ -124,6 +124,15 @@ void BddManager::grow_unique_table() {
   unique_mask_ = mask;
 }
 
+void BddManager::reserve_nodes(size_t expected) {
+  nodes_.reserve(nodes_.size() + expected);
+  // Repeated doubling from the current (typically small) table: each step
+  // rehashes what exists now, so the total cost is one effective rehash.
+  while ((nodes_.size() + expected) * 4 > unique_table_.size() * 3) {
+    grow_unique_table();
+  }
+}
+
 NodeIndex BddManager::make(Var v, NodeIndex low, NodeIndex high) {
   if (low == high) return low;  // reduction rule
   uint64_t slot = hash_triple(v, low, high) & unique_mask_;

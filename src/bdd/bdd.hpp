@@ -199,6 +199,12 @@ class BddManager {
   Uint128 count_index(NodeIndex a);
   NodeIndex make(Var v, NodeIndex low, NodeIndex high);
 
+  /// Pre-size the arena and unique table for `expected` additional nodes,
+  /// so a bulk rebuild (deserializing a trace or cache artifact, whose
+  /// node count is in the header) pays one table rehash instead of a
+  /// doubling cascade.
+  void reserve_nodes(size_t expected);
+
  private:
   struct CacheEntry {
     uint64_t key = UINT64_MAX;  // packed (op, a, b)

@@ -70,33 +70,52 @@ void cover_device(bdd::BddManager& mgr, const dataplane::MatchSetIndex& index,
 }  // namespace
 
 CoveredSets::CoveredSets(const dataplane::MatchSetIndex& index, const CoverageTrace& trace,
-                         const ys::ResourceBudget* budget, unsigned threads)
+                         const ys::ResourceBudget* budget, unsigned threads,
+                         const CoverPrefill* prefill)
     : index_(index), trace_(trace), truncated_(index.truncated()) {
   obs::Span build_span("covered_sets.build", "offline");
   bdd::BddManager& mgr = index.manager();
   const net::Network& network = index.network();
   covered_.resize(network.rule_count());
 
+  // Adopt cached devices; only the misses form the work list. Prefilled
+  // covered sets already live in the index's manager, so adoption copies
+  // handles without any BDD operation.
   const std::vector<net::Device>& devices = network.devices();
-  const unsigned workers = ys::resolve_threads(threads, devices.size());
+  std::vector<const net::Device*> work;
+  work.reserve(devices.size());
+  for (const net::Device& dev : devices) {
+    if (prefill != nullptr && prefill->hit(dev.id)) {
+      for (const net::TableKind table : {net::TableKind::Acl, net::TableKind::Fib}) {
+        for (const net::RuleId rid : network.table(dev.id, table)) {
+          covered_[rid.value] = prefill->covered[rid.value];
+        }
+      }
+    } else {
+      work.push_back(&dev);
+    }
+  }
+
+  const unsigned workers = ys::resolve_threads(threads, work.size());
   build_span.arg("devices", devices.size());
+  build_span.arg("prefilled", devices.size() - work.size());
   build_span.arg("rules", network.rule_count());
   build_span.arg("workers", workers);
 
   if (workers <= 1) {
     const auto identity = [](const PacketSet& ps) -> const PacketSet& { return ps; };
     try {
-      for (const net::Device& dev : devices) {
+      for (const net::Device* dev : work) {
         if (budget != nullptr) budget->poll("covered-set computation");
-        cover_device(mgr, index, trace, dev, identity, /*skip_marked=*/false, covered_);
+        cover_device(mgr, index, trace, *dev, identity, /*skip_marked=*/false, covered_);
       }
     } catch (const ys::StatusError& e) {
       if (!ys::is_resource_exhaustion(e.code())) throw;
       truncated_ = true;
     }
   } else {
-    // Sharded Algorithm 1: worker w owns devices w, w+T, ..., importing its
-    // inputs (trace slices, match sets, ACL spaces) from the quiescent
+    // Sharded Algorithm 1: worker w owns work items w, w+T, ..., importing
+    // its inputs (trace slices, match sets, ACL spaces) from the quiescent
     // primary manager and intersecting in a private one; the main thread
     // merges per-rule results back in device order.
     std::vector<CoverShard> shards(workers);
@@ -112,9 +131,9 @@ CoveredSets::CoveredSets(const dataplane::MatchSetIndex& index, const CoverageTr
         return PacketSet(from_primary.import(ps.raw()));
       };
       try {
-        for (size_t d = w; d < devices.size(); d += workers) {
+        for (size_t d = w; d < work.size(); d += workers) {
           if (budget != nullptr) budget->poll("covered-set computation");
-          cover_device(*shard.mgr, index, trace, devices[d], import,
+          cover_device(*shard.mgr, index, trace, *work[d], import,
                        /*skip_marked=*/true, shard.covered);
         }
       } catch (const ys::StatusError& e) {
@@ -123,10 +142,10 @@ CoveredSets::CoveredSets(const dataplane::MatchSetIndex& index, const CoverageTr
       }
     });
 
-    // Queue occupancy: worker w owns the devices ≡ w (mod workers).
+    // Queue occupancy: worker w owns the work items ≡ w (mod workers).
     for (unsigned w = 0; w < workers; ++w) {
       ys::worker_items_histogram().observe(
-          static_cast<double>((devices.size() - w + workers - 1) / workers));
+          static_cast<double>((work.size() - w + workers - 1) / workers));
     }
 
     obs::Span merge_span("covered_sets.merge", "offline");
@@ -137,8 +156,8 @@ CoveredSets::CoveredSets(const dataplane::MatchSetIndex& index, const CoverageTr
       importers.push_back(std::make_unique<bdd::BddImporter>(mgr, *shard.mgr));
     }
     try {
-      for (size_t d = 0; d < devices.size(); ++d) {
-        const net::Device& dev = devices[d];
+      for (size_t d = 0; d < work.size(); ++d) {
+        const net::Device& dev = *work[d];
         CoverShard& shard = shards[d % workers];
         bdd::BddImporter& imp = *importers[d % workers];
         for (const net::TableKind table : {net::TableKind::Acl, net::TableKind::Fib}) {

@@ -19,6 +19,20 @@
 
 namespace yardstick::coverage {
 
+/// Per-device Algorithm-1 results restored from the incremental cache
+/// (src/yardstick/cache.*). Devices with `device_hit` set have the covered
+/// sets of all their rules already present in `covered` (living in the
+/// index's manager); the constructor adopts them and runs Algorithm 1 only
+/// for the remaining devices.
+struct CoverPrefill {
+  std::vector<char> device_hit;             // indexed by DeviceId
+  std::vector<packet::PacketSet> covered;   // indexed by RuleId
+
+  [[nodiscard]] bool hit(net::DeviceId id) const {
+    return id.value < device_hit.size() && device_hit[id.value] != 0;
+  }
+};
+
 class CoveredSets {
  public:
   /// Runs Algorithm 1 for every rule in the network.
@@ -33,8 +47,14 @@ class CoveredSets {
   /// index's manager. Merged sets are canonical there and semantically
   /// identical to a serial run, so covered-set sizes are bit-identical
   /// regardless of thread count (0 = one worker per hardware thread).
+  ///
+  /// `prefill` (non-owning, may be null) supplies cached covered sets for
+  /// a subset of devices; Algorithm 1 runs only over the misses, and the
+  /// result is bit-identical to a full run (cached sets are canonical in
+  /// the index's manager).
   CoveredSets(const dataplane::MatchSetIndex& index, const CoverageTrace& trace,
-              const ys::ResourceBudget* budget = nullptr, unsigned threads = 1);
+              const ys::ResourceBudget* budget = nullptr, unsigned threads = 1,
+              const CoverPrefill* prefill = nullptr);
 
   /// Structural clone onto another index (itself a clone of the original
   /// index into a different manager): copies every covered set into

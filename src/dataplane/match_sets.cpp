@@ -81,7 +81,8 @@ struct BuildShard {
 }  // namespace
 
 MatchSetIndex::MatchSetIndex(bdd::BddManager& mgr, const net::Network& network,
-                             const ys::ResourceBudget* budget, unsigned threads)
+                             const ys::ResourceBudget* budget, unsigned threads,
+                             const MatchPrefill* prefill)
     : mgr_(mgr), network_(network) {
   obs::Span build_span("match_sets.build", "offline");
   const size_t num_rules = network.rule_count();
@@ -90,17 +91,39 @@ MatchSetIndex::MatchSetIndex(bdd::BddManager& mgr, const net::Network& network,
   matched_space_.resize(network.device_count());
   acl_permitted_.resize(network.device_count());
 
+  // Adopt cached devices up front; only the misses form the work list the
+  // serial and sharded paths below walk. Prefilled sets already live in
+  // mgr_, so adoption is handle copies — no BDD operations, no budget
+  // charge.
   const std::vector<net::Device>& devices = network.devices();
-  const unsigned workers = ys::resolve_threads(threads, devices.size());
+  std::vector<const net::Device*> work;
+  work.reserve(devices.size());
+  for (const net::Device& dev : devices) {
+    if (prefill != nullptr && prefill->hit(dev.id)) {
+      for (const net::TableKind table : {net::TableKind::Acl, net::TableKind::Fib}) {
+        for (const net::RuleId rid : network.table(dev.id, table)) {
+          match_fields_[rid.value] = prefill->match_fields[rid.value];
+          match_sets_[rid.value] = prefill->match_sets[rid.value];
+        }
+      }
+      matched_space_[dev.id.value] = prefill->matched_space[dev.id.value];
+      acl_permitted_[dev.id.value] = prefill->acl_permitted[dev.id.value];
+    } else {
+      work.push_back(&dev);
+    }
+  }
+
+  const unsigned workers = ys::resolve_threads(threads, work.size());
   build_span.arg("devices", devices.size());
+  build_span.arg("prefilled", devices.size() - work.size());
   build_span.arg("rules", num_rules);
   build_span.arg("workers", workers);
 
   if (workers <= 1) {
     try {
-      for (const net::Device& dev : devices) {
+      for (const net::Device* dev : work) {
         if (budget != nullptr) budget->poll("match-set computation");
-        build_device_tables(mgr, network, dev, match_fields_, match_sets_,
+        build_device_tables(mgr, network, *dev, match_fields_, match_sets_,
                             matched_space_, acl_permitted_);
       }
     } catch (const ys::StatusError& e) {
@@ -108,7 +131,7 @@ MatchSetIndex::MatchSetIndex(bdd::BddManager& mgr, const net::Network& network,
       truncated_ = true;
     }
   } else {
-    // Sharded build: worker w owns devices w, w+T, w+2T, ... and builds
+    // Sharded build: worker w owns work items w, w+T, w+2T, ... and builds
     // them in a private manager; the main thread then merges every shard
     // into the primary manager by structural import, walking devices in
     // network order so the merge is deterministic.
@@ -125,9 +148,9 @@ MatchSetIndex::MatchSetIndex(bdd::BddManager& mgr, const net::Network& network,
       shard.matched_space.resize(network.device_count());
       shard.acl_permitted.resize(network.device_count());
       try {
-        for (size_t d = w; d < devices.size(); d += workers) {
+        for (size_t d = w; d < work.size(); d += workers) {
           if (budget != nullptr) budget->poll("match-set computation");
-          build_device_tables(*shard.mgr, network, devices[d], shard.match_fields,
+          build_device_tables(*shard.mgr, network, *work[d], shard.match_fields,
                               shard.match_sets, shard.matched_space,
                               shard.acl_permitted);
         }
@@ -137,10 +160,10 @@ MatchSetIndex::MatchSetIndex(bdd::BddManager& mgr, const net::Network& network,
       }
     });
 
-    // Queue occupancy: worker w owns the devices ≡ w (mod workers).
+    // Queue occupancy: worker w owns the work items ≡ w (mod workers).
     for (unsigned w = 0; w < workers; ++w) {
       ys::worker_items_histogram().observe(
-          static_cast<double>((devices.size() - w + workers - 1) / workers));
+          static_cast<double>((work.size() - w + workers - 1) / workers));
     }
 
     obs::Span merge_span("match_sets.merge", "offline");
@@ -151,8 +174,8 @@ MatchSetIndex::MatchSetIndex(bdd::BddManager& mgr, const net::Network& network,
       importers.push_back(std::make_unique<bdd::BddImporter>(mgr_, *shard.mgr));
     }
     try {
-      for (size_t d = 0; d < devices.size(); ++d) {
-        const net::Device& dev = devices[d];
+      for (size_t d = 0; d < work.size(); ++d) {
+        const net::Device& dev = *work[d];
         BuildShard& shard = shards[d % workers];
         bdd::BddImporter& imp = *importers[d % workers];
         const auto merged = [&imp](const PacketSet& src) {
@@ -186,7 +209,7 @@ MatchSetIndex::MatchSetIndex(bdd::BddManager& mgr, const net::Network& network,
         "ys.match_sets.devices_built", "devices whose tables were walked (step 1)");
     static obs::Counter& built_rules = obs::metrics().counter(
         "ys.match_sets.rules_built", "rules given disjoint match sets (step 1)");
-    built_devices.add(devices.size());
+    built_devices.add(work.size());
     built_rules.add(num_rules);
   }
 

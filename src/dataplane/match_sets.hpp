@@ -17,6 +17,24 @@
 
 namespace yardstick::dataplane {
 
+/// Per-device step-1 results restored from the incremental cache
+/// (src/yardstick/cache.*). Devices with `device_hit` set have all four
+/// outputs already present in the vectors below, as packet sets living in
+/// the destination manager; the constructor adopts them verbatim and walks
+/// only the remaining devices. Every vector is sized like the
+/// corresponding index member (rule- or device-indexed).
+struct MatchPrefill {
+  std::vector<char> device_hit;                   // indexed by DeviceId
+  std::vector<packet::PacketSet> match_fields;    // indexed by RuleId
+  std::vector<packet::PacketSet> match_sets;      // indexed by RuleId
+  std::vector<packet::PacketSet> matched_space;   // indexed by DeviceId
+  std::vector<packet::PacketSet> acl_permitted;   // indexed by DeviceId
+
+  [[nodiscard]] bool hit(net::DeviceId id) const {
+    return id.value < device_hit.size() && device_hit[id.value] != 0;
+  }
+};
+
 class MatchSetIndex {
  public:
   /// Computes match fields and disjoint match sets for every rule in the
@@ -33,8 +51,14 @@ class MatchSetIndex {
   /// canonical in `mgr` and semantically identical to a serial build, so
   /// every size/count downstream is bit-identical regardless of thread
   /// count (0 = one worker per hardware thread).
+  ///
+  /// `prefill` (non-owning, may be null) supplies cached step-1 results
+  /// for a subset of devices; only the misses are walked (serially or
+  /// sharded). Because both cached and recomputed sets are canonical in
+  /// `mgr`, a prefilled build is bit-identical to a full one.
   MatchSetIndex(bdd::BddManager& mgr, const net::Network& network,
-                const ys::ResourceBudget* budget = nullptr, unsigned threads = 1);
+                const ys::ResourceBudget* budget = nullptr, unsigned threads = 1,
+                const MatchPrefill* prefill = nullptr);
 
   /// Structural clone into another manager: copies every packet set of
   /// `other` into `dst` (memoized import, shared subgraphs copied once).

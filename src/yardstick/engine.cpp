@@ -70,19 +70,34 @@ void sample_engine_gauges(const bdd::BddManager& mgr, const ResourceBudget* budg
 
 }  // namespace
 
-dataplane::MatchSetIndex CoverageEngine::timed_match_sets(bdd::BddManager& mgr,
-                                                          const net::Network& network,
-                                                          const EngineOptions& options,
-                                                          PhaseTimings& timings) {
+dataplane::MatchSetIndex CoverageEngine::timed_match_sets(
+    bdd::BddManager& mgr, const net::Network& network, const EngineOptions& options,
+    PhaseTimings& timings, const IncrementalSession* incremental) {
   PhaseTimer timer(timings.match_sets_seconds);
-  return dataplane::MatchSetIndex(mgr, network, options.budget, options.threads);
+  return dataplane::MatchSetIndex(mgr, network, options.budget, options.threads,
+                                  incremental != nullptr ? incremental->match_prefill()
+                                                         : nullptr);
 }
 
 coverage::CoveredSets CoverageEngine::timed_covered_sets(
     const dataplane::MatchSetIndex& index, const coverage::CoverageTrace& trace,
-    const EngineOptions& options, PhaseTimings& timings) {
+    const EngineOptions& options, PhaseTimings& timings,
+    const IncrementalSession* incremental) {
   PhaseTimer timer(timings.covered_sets_seconds);
-  return coverage::CoveredSets(index, trace, options.budget, options.threads);
+  return coverage::CoveredSets(index, trace, options.budget, options.threads,
+                               incremental != nullptr ? incremental->cover_prefill()
+                                                      : nullptr);
+}
+
+std::unique_ptr<IncrementalSession> CoverageEngine::make_incremental(
+    bdd::BddManager& mgr, const net::Network& network,
+    const coverage::CoverageTrace& trace, const EngineOptions& options) {
+  if (options.cache_dir.empty()) return nullptr;
+  const uint64_t fingerprint = options_fingerprint(
+      options.threads, options.budget != nullptr ? options.budget->max_bdd_nodes() : 0,
+      options.budget != nullptr && options.budget->has_deadline());
+  return std::make_unique<IncrementalSession>(mgr, network, trace, options.cache_dir,
+                                              fingerprint);
 }
 
 CoverageEngine::CoverageEngine(bdd::BddManager& mgr, const net::Network& network,
@@ -96,10 +111,27 @@ CoverageEngine::CoverageEngine(bdd::BddManager& mgr, const net::Network& network
     : network_(network),
       budget_(attach_budget(mgr, options.budget)),
       threads_(options.threads),
-      index_(timed_match_sets(mgr, network, options, timings_)),
+      incremental_(make_incremental(mgr, network, trace, options)),
+      index_(timed_match_sets(mgr, network, options, timings_, incremental_.get())),
       transfer_(index_),
-      covered_(timed_covered_sets(index_, trace, options, timings_)),
+      covered_(timed_covered_sets(index_, trace, options, timings_, incremental_.get())),
       factory_(transfer_) {
+  if (incremental_) {
+    incremental_->save(index_, covered_);
+    if (obs::enabled()) {
+      const CacheStats& cs = incremental_->stats();
+      obs::MetricsRegistry& reg = obs::metrics();
+      reg.counter("ys.cache.hits", "incremental cache: per-device records reused")
+          .add(cs.match_hits + cs.cover_hits);
+      reg.counter("ys.cache.misses", "incremental cache: per-device records recomputed")
+          .add(cs.match_misses() + cs.cover_misses());
+      reg.counter("ys.cache.invalidations",
+                  "incremental cache: devices on the invalidation frontier")
+          .add(cs.invalidated);
+      reg.counter("ys.cache.saves", "incremental cache: files committed")
+          .add(cs.saved ? 1 : 0);
+    }
+  }
   // Offline phase (steps 1-2) just finished: snapshot the primary
   // manager's state and the budget consumption into the registry.
   sample_engine_gauges(mgr, budget_);

@@ -23,6 +23,7 @@
 #include "coverage/path_explorer.hpp"
 #include "coverage/trace.hpp"
 #include "dataplane/transfer.hpp"
+#include "yardstick/cache.hpp"
 #include "yardstick/report.hpp"
 
 namespace yardstick::ys {
@@ -52,6 +53,13 @@ struct EngineOptions {
   /// build in private BDD managers, results merge canonically into the
   /// engine's manager, and floating-point folds run in a fixed order.
   unsigned threads = 1;
+  /// Directory for the incremental result cache (DESIGN.md §11). Empty =
+  /// no cross-run caching. When set, construction loads cached per-device
+  /// results whose content keys still match, recomputes only the
+  /// invalidation frontier, and re-persists the cache afterwards — with
+  /// output bit-identical to a from-scratch run. A missing/corrupt/
+  /// mismatched cache silently degrades to a full rebuild.
+  std::string cache_dir;
 };
 
 class CoverageEngine {
@@ -130,6 +138,11 @@ class CoverageEngine {
   /// Wall-clock cost of steps 1 and 2, measured at construction (always,
   /// independent of the observability switch).
   [[nodiscard]] const PhaseTimings& timings() const { return timings_; }
+  /// Incremental-cache statistics for this construction; null when
+  /// EngineOptions::cache_dir was empty.
+  [[nodiscard]] const CacheStats* cache_stats() const {
+    return incremental_ ? &incremental_->stats() : nullptr;
+  }
 
  private:
   [[nodiscard]] std::vector<net::DeviceId> filtered_devices(const DeviceFilter& filter) const;
@@ -143,15 +156,24 @@ class CoverageEngine {
   /// the timing guard's destructor fires after construction completes).
   [[nodiscard]] static dataplane::MatchSetIndex timed_match_sets(
       bdd::BddManager& mgr, const net::Network& network, const EngineOptions& options,
-      PhaseTimings& timings);
+      PhaseTimings& timings, const IncrementalSession* incremental);
   [[nodiscard]] static coverage::CoveredSets timed_covered_sets(
       const dataplane::MatchSetIndex& index, const coverage::CoverageTrace& trace,
-      const EngineOptions& options, PhaseTimings& timings);
+      const EngineOptions& options, PhaseTimings& timings,
+      const IncrementalSession* incremental);
+  /// Null when options.cache_dir is empty; never throws (cache failures
+  /// degrade to a full rebuild, recorded in the session's stats).
+  [[nodiscard]] static std::unique_ptr<IncrementalSession> make_incremental(
+      bdd::BddManager& mgr, const net::Network& network,
+      const coverage::CoverageTrace& trace, const EngineOptions& options);
 
   const net::Network& network_;
   const ResourceBudget* budget_;
   unsigned threads_;
   PhaseTimings timings_;  // declared before index_/covered_: written during their init
+  // Declared before index_: its prefills feed index_'s and covered_'s
+  // construction in the init list below.
+  std::unique_ptr<IncrementalSession> incremental_;
   dataplane::MatchSetIndex index_;
   dataplane::Transfer transfer_;
   coverage::CoveredSets covered_;

@@ -154,6 +154,66 @@ TEST(CliTest, BudgetFlagsProduceTruncatedPartialResults) {
   EXPECT_EQ(run_cli("fattree --max-bdd-nodes -3").exit_code, 2);
 }
 
+TEST(CliTest, NumericFlagsRejectGarbageAndOutOfRangeValues) {
+  REQUIRE_CLI();
+  // Every numeric flag goes through a checked parser: non-numeric tokens,
+  // trailing junk, and out-of-range values are usage errors (exit 2), not
+  // silently-wrapped integers.
+  EXPECT_EQ(run_cli("fattree --k banana").exit_code, 2);
+  EXPECT_EQ(run_cli("fattree --k 4x").exit_code, 2);
+  EXPECT_EQ(run_cli("fattree --k 0").exit_code, 2);
+  EXPECT_EQ(run_cli("fattree --k -4").exit_code, 2);
+  EXPECT_EQ(run_cli("fattree --k 99999999999999999999").exit_code, 2);
+  EXPECT_EQ(run_cli("fattree --threads -1").exit_code, 2);
+  EXPECT_EQ(run_cli("fattree --paths 5x").exit_code, 2);
+  EXPECT_EQ(run_cli("fattree --paths nan").exit_code, 2);
+  EXPECT_EQ(run_cli("fattree --suggest 1.5").exit_code, 2);
+  EXPECT_EQ(run_cli("fattree --deadline abc").exit_code, 2);
+  EXPECT_EQ(run_cli("fattree --max-bdd-nodes 1e9").exit_code, 2);
+  EXPECT_EQ(run_cli("serve --tcp 0").exit_code, 2);
+  EXPECT_EQ(run_cli("serve --queue -1").exit_code, 2);
+  // The original wrap bug: 70000 % 65536 = 4464 used to bind a wrong port.
+  EXPECT_EQ(run_cli("serve --tcp 70000").exit_code, 2);
+  EXPECT_EQ(run_cli("ingest fattree --tcp-port 70000").exit_code, 2);
+  EXPECT_EQ(run_cli("ingest fattree --tcp-port 0").exit_code, 2);
+  EXPECT_EQ(run_cli("ingest fattree --shard 3 2").exit_code, 2);
+  EXPECT_EQ(run_cli("ingest fattree --batch-events 0").exit_code, 2);
+  EXPECT_EQ(run_cli("ingest fattree --max-attempts 0").exit_code, 2);
+}
+
+TEST(CliTest, IncrementalCacheRoundTrip) {
+  REQUIRE_CLI();
+  const std::string dir = ::testing::TempDir() + "/cli_cache";
+  const std::string cache = dir + "/coverage.cache";
+  std::remove(cache.c_str());
+  const std::string base = "fattree --k 4 --suite original --json --cache-dir " + dir;
+
+  const CommandResult cold = run_cli(base);
+  EXPECT_EQ(cold.exit_code, 0) << cold.output;
+  EXPECT_NE(cold.output.find("cache: full rebuild"), std::string::npos) << cold.output;
+  EXPECT_TRUE(std::ifstream(cache).good());
+
+  const CommandResult warm = run_cli(base);
+  EXPECT_EQ(warm.exit_code, 0) << warm.output;
+  EXPECT_NE(warm.output.find("records reused"), std::string::npos) << warm.output;
+  EXPECT_NE(warm.output.find("0 device(s) invalidated"), std::string::npos)
+      << warm.output;
+
+  // The cache stats line goes to stderr; the JSON report on stdout must be
+  // byte-identical between warm and cache-free runs (timings aside — they
+  // are wall-clock measurements, keyed out by the CI normalizer too).
+  const CommandResult scratch = run_cli("fattree --k 4 --suite original --json");
+  const auto strip = [](const std::string& output) {
+    // Keep only the JSON object; the human-readable lines differ.
+    const size_t start = output.find('{');
+    std::string json = output.substr(start == std::string::npos ? 0 : start);
+    const size_t timings = json.find("\"timings\"");
+    return timings == std::string::npos ? json : json.substr(0, timings);
+  };
+  EXPECT_EQ(strip(warm.output), strip(scratch.output));
+  std::remove(cache.c_str());
+}
+
 TEST(CliTest, AnalyzeAndSuggestFlags) {
   REQUIRE_CLI();
   const CommandResult r =

@@ -3,9 +3,13 @@
 // provoke failures at precise internal moments.
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "common/budget.hpp"
 #include "dataplane/match_sets.hpp"
@@ -32,6 +36,26 @@ std::string slurp(const std::string& path) {
 }
 
 bool exists(const std::string& path) { return std::ifstream(path).good(); }
+
+/// Atomic saves stage through unique "<path>.tmp.<pid>.<seq>" names; any
+/// survivor after a save — failed or not — is a cleanup bug.
+bool temp_leftovers(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const std::string prefix =
+      (slash == std::string::npos ? path : path.substr(slash + 1)) + ".tmp";
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return false;
+  bool found = false;
+  while (const dirent* entry = ::readdir(d)) {
+    if (std::string(entry->d_name).rfind(prefix, 0) == 0) {
+      found = true;
+      break;
+    }
+  }
+  ::closedir(d);
+  return found;
+}
 
 class ResilienceTest : public ::testing::Test {
  protected:
@@ -152,7 +176,7 @@ TEST_F(ResilienceTest, InterruptedSaveNeverLeavesPartialFile) {
     EXPECT_THROW(save_trace(path, bigger, mgr_), IoError);
   }
   EXPECT_EQ(slurp(path), committed);
-  EXPECT_FALSE(exists(path + ".tmp"));
+  EXPECT_FALSE(temp_leftovers(path));
 
   // The retry (fault disarmed) succeeds and the new content is complete.
   save_trace(path, bigger, mgr_);
@@ -169,7 +193,7 @@ TEST_F(ResilienceTest, InterruptedWriteLeavesNoFileAtFreshDestination) {
     EXPECT_THROW(save_trace(path, trace_, mgr_), IoError);
   }
   EXPECT_FALSE(exists(path));
-  EXPECT_FALSE(exists(path + ".tmp"));
+  EXPECT_FALSE(temp_leftovers(path));
 }
 
 TEST_F(ResilienceTest, FailedFsyncAbortsTheSaveBeforeCommit) {
@@ -185,7 +209,7 @@ TEST_F(ResilienceTest, FailedFsyncAbortsTheSaveBeforeCommit) {
     EXPECT_THROW(save_trace(path, trace_, mgr_), IoError);
   }
   EXPECT_EQ(slurp(path), committed);
-  EXPECT_FALSE(exists(path + ".tmp"));
+  EXPECT_FALSE(temp_leftovers(path));
   std::remove(path.c_str());
 }
 
@@ -202,9 +226,39 @@ TEST_F(ResilienceTest, FailedDirectorySyncStillLeavesTheCommittedFile) {
     EXPECT_THROW(save_trace(path, trace_, mgr_), IoError);
   }
   EXPECT_TRUE(exists(path));
-  EXPECT_FALSE(exists(path + ".tmp"));
+  EXPECT_FALSE(temp_leftovers(path));
   bdd::BddManager mgr2(packet::kNumHeaderBits);
   (void)load_trace(path, mgr2);  // complete and readable
+  std::remove(path.c_str());
+}
+
+TEST_F(ResilienceTest, ConcurrentSavesToOnePathNeverClobberEachOther) {
+  // Two savers racing on the same destination used to share one fixed
+  // "<path>.tmp" staging name, so one could rename the other's half-written
+  // bytes into place. With O_EXCL per-save temp names, every save commits a
+  // complete file: whoever renames last wins, and the winner's content is
+  // always loadable.
+  trace_.mark_packet(net::to_location(tiny_.l1_host),
+                     PacketSet::dst_prefix(mgr_, tiny_.p1));
+  coverage::CoverageTrace other = trace_;
+  other.mark_rule(tiny_.sp_to_p1);
+  const std::string path = ::testing::TempDir() + "/resilience_race.trace";
+  std::remove(path.c_str());
+
+  std::vector<std::thread> savers;
+  for (int round = 0; round < 8; ++round) {
+    savers.emplace_back([&, round] {
+      save_trace(path, round % 2 == 0 ? trace_ : other, mgr_);
+    });
+  }
+  for (std::thread& t : savers) t.join();
+
+  // The survivor is one of the two saved traces, never an interleaving.
+  bdd::BddManager mgr2(packet::kNumHeaderBits);
+  const coverage::CoverageTrace winner = load_trace(path, mgr2);
+  EXPECT_LE(winner.marked_rules().size(), 1u);
+  EXPECT_EQ(winner.marked_packets().entries().size(), 1u);
+  EXPECT_FALSE(temp_leftovers(path));
   std::remove(path.c_str());
 }
 

@@ -20,8 +20,11 @@
 //   2 usage error               6 resource budget exceeded
 //   3 invalid input             7 cancelled
 //                              10 internal error
+#include <cerrno>
+#include <climits>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -53,6 +56,46 @@ using namespace yardstick;
 
 namespace {
 
+// --- strict numeric flag parsing ----------------------------------------
+//
+// atoi/atof silently turn garbage into 0 and saturate nothing: "--port
+// 70000" used to pass a `> 0` check and wrap through a uint16_t cast to
+// port 4464. Every numeric flag goes through these instead: the whole
+// token must parse, and the value must sit inside the flag's range —
+// anything else is a usage error (exit 2), never a silent reinterpretation.
+
+/// Parse a complete base-10 integer token. Rejects empty strings, trailing
+/// garbage ("5x"), and values outside long long.
+bool parse_i64(const char* s, long long& out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtoll(s, &end, 10);
+  return errno == 0 && end != s && *end == '\0';
+}
+
+/// Parse a complete finite floating-point token.
+bool parse_f64(const char* s, double& out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtod(s, &end);
+  return errno == 0 && end != s && *end == '\0' && std::isfinite(out);
+}
+
+/// Integer token constrained to [lo, hi].
+bool parse_range(const char* s, long long lo, long long hi, long long& out) {
+  return parse_i64(s, out) && out >= lo && out <= hi;
+}
+
+/// TCP port: 1..65535, no wrapping.
+bool parse_port(const char* s, uint16_t& out) {
+  long long v = 0;
+  if (!parse_range(s, 1, 65535, v)) return false;
+  out = static_cast<uint16_t>(v);
+  return true;
+}
+
 struct CliOptions {
   std::string topology;       // "fattree" | "regional" | "file"
   std::string network_file;   // for topology == "file"
@@ -70,6 +113,7 @@ struct CliOptions {
   double deadline_s = 0.0;       // 0 = unlimited
   size_t max_bdd_nodes = 0;      // 0 = unlimited
   unsigned threads = 0;          // offline-phase workers; 0 = all hardware threads
+  std::string cache_dir;         // incremental result cache; empty = off
   std::optional<std::string> trace_out;    // Chrome trace-event JSON
   std::optional<std::string> metrics_out;  // metrics JSON (+ FILE.prom)
 };
@@ -93,6 +137,9 @@ int usage(const char* argv0) {
                "  --max-bdd-nodes N    cap BDD arena size (partial results)\n"
                "  --threads N          offline-phase worker threads (default: all\n"
                "                       hardware threads; results are identical)\n"
+               "  --incremental        cache offline-phase results in .yardstick-cache\n"
+               "                       and recompute only what changed (bit-identical)\n"
+               "  --cache-dir DIR      like --incremental, with an explicit cache directory\n"
                "  --trace-out FILE     write a Chrome trace-event JSON span timeline\n"
                "                       (open in about:tracing or ui.perfetto.dev)\n"
                "  --metrics-out FILE   write engine metrics as JSON to FILE and\n"
@@ -116,10 +163,18 @@ std::optional<CliOptions> parse(int argc, char** argv) {
 
   for (int i = first_option; i < argc; ++i) {
     const std::string arg = argv[i];
+    // Positive int / positive size flag values, strictly parsed.
     const auto next_int = [&](int& out) {
-      if (i + 1 >= argc) return false;
-      out = std::atoi(argv[++i]);
-      return out > 0;
+      long long v = 0;
+      if (i + 1 >= argc || !parse_range(argv[++i], 1, INT_MAX, v)) return false;
+      out = static_cast<int>(v);
+      return true;
+    };
+    const auto next_size = [&](size_t& out) {
+      long long v = 0;
+      if (i + 1 >= argc || !parse_range(argv[++i], 1, LLONG_MAX, v)) return false;
+      out = static_cast<size_t>(v);
+      return true;
     };
     if (arg == "--k") {
       if (!next_int(opts.k)) return std::nullopt;
@@ -139,14 +194,14 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     } else if (arg == "--paths") {
       opts.paths = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') {
-        opts.path_budget_s = std::atof(argv[++i]);
+        if (!parse_f64(argv[++i], opts.path_budget_s) || opts.path_budget_s <= 0.0) {
+          return std::nullopt;
+        }
       }
     } else if (arg == "--analyze") {
       opts.analyze = true;
     } else if (arg == "--suggest") {
-      int n = 0;
-      if (!next_int(n)) return std::nullopt;
-      opts.suggest = static_cast<size_t>(n);
+      if (!next_size(opts.suggest)) return std::nullopt;
     } else if (arg == "--save-trace") {
       if (i + 1 >= argc) return std::nullopt;
       opts.save_trace = argv[++i];
@@ -154,17 +209,21 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       if (i + 1 >= argc) return std::nullopt;
       opts.load_trace = argv[++i];
     } else if (arg == "--deadline") {
-      if (i + 1 >= argc) return std::nullopt;
-      opts.deadline_s = std::atof(argv[++i]);
-      if (opts.deadline_s <= 0.0) return std::nullopt;
+      if (i + 1 >= argc || !parse_f64(argv[++i], opts.deadline_s) ||
+          opts.deadline_s <= 0.0) {
+        return std::nullopt;
+      }
     } else if (arg == "--max-bdd-nodes") {
-      int n = 0;
-      if (!next_int(n)) return std::nullopt;
-      opts.max_bdd_nodes = static_cast<size_t>(n);
+      if (!next_size(opts.max_bdd_nodes)) return std::nullopt;
     } else if (arg == "--threads") {
       int n = 0;
       if (!next_int(n)) return std::nullopt;
       opts.threads = static_cast<unsigned>(n);
+    } else if (arg == "--incremental") {
+      if (opts.cache_dir.empty()) opts.cache_dir = ".yardstick-cache";
+    } else if (arg == "--cache-dir") {
+      if (i + 1 >= argc) return std::nullopt;
+      opts.cache_dir = argv[++i];
     } else if (arg == "--trace-out") {
       if (i + 1 >= argc) return std::nullopt;
       opts.trace_out = argv[++i];
@@ -309,7 +368,23 @@ int run_impl(const CliOptions& opts) {
 
   const ys::CoverageEngine engine(
       mgr, *network, tracker.trace(),
-      ys::EngineOptions{budgeted ? &budget : nullptr, opts.threads});
+      ys::EngineOptions{budgeted ? &budget : nullptr, opts.threads, opts.cache_dir});
+  // Cache telemetry goes to stderr so stdout (human or JSON report) stays
+  // byte-identical to a from-scratch run — which is what CI diffs.
+  if (const ys::CacheStats* cs = engine.cache_stats()) {
+    if (!cs->loaded) {
+      std::fprintf(stderr, "cache: full rebuild (%s)\n", cs->fallback_reason.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "cache: %zu/%zu match records reused, %zu/%zu covered records "
+                   "reused, %zu device(s) invalidated\n",
+                   cs->match_hits, cs->devices, cs->cover_hits, cs->devices,
+                   cs->invalidated);
+    }
+    if (!cs->save_error.empty()) {
+      std::fprintf(stderr, "warning: cache not saved: %s\n", cs->save_error.c_str());
+    }
+  }
   const ys::CoverageReport report = engine.report();
   if (report.truncated && !opts.json) {
     std::fprintf(stderr, "warning: budget exhausted; coverage results are partial\n");
@@ -415,9 +490,7 @@ int run_serve(int argc, char** argv) {
       dopts.socket_path = v;
     } else if (arg == "--tcp") {
       const char* v = next();
-      const int port = v != nullptr ? std::atoi(v) : 0;
-      if (port < 1 || port > 65535) return serve_usage(argv[0]);
-      dopts.tcp_port = static_cast<uint16_t>(port);
+      if (v == nullptr || !parse_port(v, dopts.tcp_port)) return serve_usage(argv[0]);
     } else if (arg == "--wal") {
       const char* v = next();
       if (v == nullptr) return serve_usage(argv[0]);
@@ -428,12 +501,14 @@ int run_serve(int argc, char** argv) {
       dopts.snapshot_path = v;
     } else if (arg == "--queue") {
       const char* v = next();
-      if (v == nullptr || std::atoi(v) <= 0) return serve_usage(argv[0]);
-      dopts.queue_capacity = static_cast<size_t>(std::atoi(v));
+      long long n = 0;
+      if (v == nullptr || !parse_range(v, 1, LLONG_MAX, n)) return serve_usage(argv[0]);
+      dopts.queue_capacity = static_cast<size_t>(n);
     } else if (arg == "--compact-bytes") {
       const char* v = next();
-      if (v == nullptr || std::atoll(v) <= 0) return serve_usage(argv[0]);
-      dopts.compact_wal_bytes = static_cast<uint64_t>(std::atoll(v));
+      long long n = 0;
+      if (v == nullptr || !parse_range(v, 1, LLONG_MAX, n)) return serve_usage(argv[0]);
+      dopts.compact_wal_bytes = static_cast<uint64_t>(n);
     } else if (arg == "--no-fsync") {
       dopts.wal_fsync = false;
     } else if (arg == "--metrics-out") {
@@ -535,8 +610,9 @@ int run_ingest(int argc, char** argv) {
     const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
     if (arg == "--k") {
       const char* v = next();
-      if (v == nullptr || std::atoi(v) <= 0) return ingest_usage(argv[0]);
-      k = std::atoi(v);
+      long long n = 0;
+      if (v == nullptr || !parse_range(v, 1, INT_MAX, n)) return ingest_usage(argv[0]);
+      k = static_cast<int>(n);
     } else if (arg == "--suite") {
       const char* v = next();
       if (v == nullptr) return ingest_usage(argv[0]);
@@ -549,36 +625,43 @@ int run_ingest(int argc, char** argv) {
       copts.socket_path = v;
     } else if (arg == "--tcp-port") {
       const char* v = next();
-      if (v == nullptr || std::atoi(v) <= 0) return ingest_usage(argv[0]);
-      copts.tcp_port = static_cast<uint16_t>(std::atoi(v));
+      if (v == nullptr || !parse_port(v, copts.tcp_port)) return ingest_usage(argv[0]);
     } else if (arg == "--session") {
       const char* v = next();
-      if (v == nullptr || std::atoll(v) <= 0) return ingest_usage(argv[0]);
-      copts.session_id = static_cast<uint64_t>(std::atoll(v));
+      long long n = 0;
+      if (v == nullptr || !parse_range(v, 1, LLONG_MAX, n)) return ingest_usage(argv[0]);
+      copts.session_id = static_cast<uint64_t>(n);
       copts.jitter_seed = copts.session_id * 0x9e3779b97f4a7c15ull + 1;
     } else if (arg == "--shard") {
       const char* a = next();
       const char* b = next();
-      if (a == nullptr || b == nullptr) return ingest_usage(argv[0]);
-      shard = static_cast<size_t>(std::atoll(a));
-      shards = static_cast<size_t>(std::atoll(b));
-      if (shards == 0 || shard >= shards) return ingest_usage(argv[0]);
+      long long index = 0, total = 0;
+      if (a == nullptr || b == nullptr || !parse_range(a, 0, LLONG_MAX, index) ||
+          !parse_range(b, 1, LLONG_MAX, total) || index >= total) {
+        return ingest_usage(argv[0]);
+      }
+      shard = static_cast<size_t>(index);
+      shards = static_cast<size_t>(total);
     } else if (arg == "--batch-events") {
       const char* v = next();
-      if (v == nullptr || std::atoi(v) <= 0) return ingest_usage(argv[0]);
-      copts.batch_events = static_cast<size_t>(std::atoi(v));
+      long long n = 0;
+      if (v == nullptr || !parse_range(v, 1, LLONG_MAX, n)) return ingest_usage(argv[0]);
+      copts.batch_events = static_cast<size_t>(n);
     } else if (arg == "--max-attempts") {
       const char* v = next();
-      if (v == nullptr || std::atoi(v) <= 0) return ingest_usage(argv[0]);
-      copts.max_attempts = static_cast<uint32_t>(std::atoi(v));
+      long long n = 0;
+      if (v == nullptr || !parse_range(v, 1, UINT32_MAX, n)) return ingest_usage(argv[0]);
+      copts.max_attempts = static_cast<uint32_t>(n);
     } else if (arg == "--backoff-base-ms") {
       const char* v = next();
-      if (v == nullptr || std::atoi(v) <= 0) return ingest_usage(argv[0]);
-      copts.backoff_base_ms = static_cast<uint32_t>(std::atoi(v));
+      long long n = 0;
+      if (v == nullptr || !parse_range(v, 1, UINT32_MAX, n)) return ingest_usage(argv[0]);
+      copts.backoff_base_ms = static_cast<uint32_t>(n);
     } else if (arg == "--ack-timeout-ms") {
       const char* v = next();
-      if (v == nullptr || std::atoi(v) <= 0) return ingest_usage(argv[0]);
-      copts.ack_timeout_ms = static_cast<uint32_t>(std::atoi(v));
+      long long n = 0;
+      if (v == nullptr || !parse_range(v, 1, UINT32_MAX, n)) return ingest_usage(argv[0]);
+      copts.ack_timeout_ms = static_cast<uint32_t>(n);
     } else if (arg == "--json") {
       json = true;
     } else {
