@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <sstream>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "common/fault.hpp"
@@ -13,7 +12,17 @@ namespace yardstick::bdd {
 
 namespace {
 constexpr size_t kInitialUniqueCapacity = 1 << 16;
-constexpr size_t kOpCacheSize = 1 << 20;
+// The unique table never shrinks below this after a collection; going
+// smaller saves nothing and pays an extra rehash cascade on regrowth.
+constexpr size_t kMinUniqueCapacityAfterGc = 1 << 12;
+// The apply cache starts small (per-worker shard managers multiply this by
+// the thread count) and doubles adaptively up to the max; see
+// maybe_grow_op_cache().
+constexpr size_t kOpCacheInitial = 1 << 16;
+constexpr size_t kOpCacheMax = 1 << 22;
+constexpr size_t kNegCacheSize = 1 << 16;
+
+constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
 
 // Truth table for each binary op, indexed by (a_bit << 1) | b_bit.
 constexpr uint8_t kTruthTable[4] = {
@@ -96,21 +105,23 @@ BddManager::BddManager(Var num_vars) : num_vars_(num_vars) {
   nodes_.push_back({num_vars_, kTrue, kTrue});
   unique_table_.assign(kInitialUniqueCapacity, kEmptySlot);
   unique_mask_ = kInitialUniqueCapacity - 1;
-  op_cache_.assign(kOpCacheSize, {});
-  op_cache_mask_ = kOpCacheSize - 1;
+  op_cache_.assign(kOpCacheInitial, {});
+  op_cache_mask_ = kOpCacheInitial - 1;
+  neg_cache_.assign(kNegCacheSize, {});
+  neg_cache_mask_ = kNegCacheSize - 1;
 }
 
 uint64_t BddManager::hash_triple(Var v, NodeIndex lo, NodeIndex hi) {
-  uint64_t h = static_cast<uint64_t>(v) * 0x9e3779b97f4a7c15ULL;
+  uint64_t h = static_cast<uint64_t>(v) * kGolden;
   h ^= (static_cast<uint64_t>(lo) + 0x7f4a7c15U) * 0xbf58476d1ce4e5b9ULL;
   h ^= (static_cast<uint64_t>(hi) + 0x1ce4e5b9U) * 0x94d049bb133111ebULL;
   h ^= h >> 31;
   return h;
 }
 
-void BddManager::grow_unique_table() {
+void BddManager::rehash_unique_table(size_t new_capacity) {
+  assert((new_capacity & (new_capacity - 1)) == 0);
   ++table_growths_;
-  const size_t new_capacity = unique_table_.size() * 2;
   std::vector<uint32_t> fresh(new_capacity, kEmptySlot);
   const uint64_t mask = new_capacity - 1;
   for (const uint32_t idx : unique_table_) {
@@ -124,13 +135,40 @@ void BddManager::grow_unique_table() {
   unique_mask_ = mask;
 }
 
+void BddManager::grow_unique_table() { rehash_unique_table(unique_table_.size() * 2); }
+
 void BddManager::reserve_nodes(size_t expected) {
   nodes_.reserve(nodes_.size() + expected);
-  // Repeated doubling from the current (typically small) table: each step
-  // rehashes what exists now, so the total cost is one effective rehash.
-  while ((nodes_.size() + expected) * 4 > unique_table_.size() * 3) {
-    grow_unique_table();
+  const size_t needed = nodes_.size() + expected;
+  if (needed * 4 <= unique_table_.size() * 3) return;
+  size_t capacity = unique_table_.size();
+  while (needed * 4 > capacity * 3) capacity *= 2;
+  // Jump straight to the final capacity: one rehash of what exists now,
+  // instead of one per doubling.
+  rehash_unique_table(capacity);
+}
+
+void BddManager::maybe_grow_op_cache() {
+  if (op_cache_.size() >= kOpCacheMax || nodes_.size() <= op_cache_.size()) return;
+  // A direct-mapped cache smaller than the arena's working set thrashes —
+  // but only grow when the observed hit rate since the last resize agrees,
+  // so workloads that stay hot in a small cache keep their footprint.
+  const uint64_t window_hits = cache_stats_.hits - resize_base_hits_;
+  const uint64_t window_total =
+      window_hits + (cache_stats_.misses - resize_base_misses_);
+  if (window_total >= 1024 && window_hits * 16 >= window_total * 15) return;
+  const size_t new_size = op_cache_.size() * 2;
+  std::vector<CacheEntry> fresh(new_size);
+  const uint64_t mask = new_size - 1;
+  for (const CacheEntry& e : op_cache_) {
+    if (e.key == UINT64_MAX) continue;
+    fresh[(e.key * kGolden >> 32) & mask] = e;  // direct-mapped: last write wins
   }
+  op_cache_ = std::move(fresh);
+  op_cache_mask_ = mask;
+  ++op_cache_growths_;
+  resize_base_hits_ = cache_stats_.hits;
+  resize_base_misses_ = cache_stats_.misses;
 }
 
 NodeIndex BddManager::make(Var v, NodeIndex low, NodeIndex high) {
@@ -160,6 +198,7 @@ NodeIndex BddManager::make(Var v, NodeIndex low, NodeIndex high) {
   unique_table_[slot] = fresh;
   // Resize at 3/4 load to keep probe chains short.
   if (nodes_.size() * 4 > unique_table_.size() * 3) grow_unique_table();
+  if (nodes_.size() > op_cache_.size()) maybe_grow_op_cache();
   return fresh;
 }
 
@@ -176,6 +215,110 @@ void BddManager::set_budget(const ys::ResourceBudget* budget) {
     budget_->charge_bdd_nodes(nodes_.size());
     charged_nodes_ = nodes_.size();
   }
+}
+
+GcResult BddManager::collect(std::span<const NodeIndex> roots) {
+  const size_t old_size = nodes_.size();
+  GcResult res;
+  res.remap.assign(old_size, GcResult::kDeadNode);
+
+  // --- Mark everything reachable from the roots. ---
+  std::vector<char> live(old_size, 0);
+  live[kFalse] = 1;
+  live[kTrue] = 1;
+  std::vector<NodeIndex> stack;
+  stack.reserve(256);
+  for (const NodeIndex r : roots) {
+    assert(r < old_size);
+    if (r > kTrue && live[r] == 0) {
+      live[r] = 1;
+      stack.push_back(r);
+    }
+  }
+  while (!stack.empty()) {
+    const BddNode nd = nodes_[stack.back()];
+    stack.pop_back();
+    if (nd.low > kTrue && live[nd.low] == 0) {
+      live[nd.low] = 1;
+      stack.push_back(nd.low);
+    }
+    if (nd.high > kTrue && live[nd.high] == 0) {
+      live[nd.high] = 1;
+      stack.push_back(nd.high);
+    }
+  }
+  size_t live_count = 0;
+  for (const char m : live) live_count += static_cast<unsigned char>(m);
+
+  // --- Pre-allocate every replacement structure before touching the
+  // arena, so an allocation failure propagates with the manager intact. ---
+  size_t unique_cap = kMinUniqueCapacityAfterGc;
+  while (live_count * 4 > unique_cap * 3) unique_cap *= 2;
+  std::vector<uint32_t> fresh_table(unique_cap, kEmptySlot);
+  size_t op_target = kOpCacheInitial;
+  while (op_target < live_count && op_target < kOpCacheMax) op_target *= 2;
+  std::vector<CacheEntry> fresh_op(op_target);
+  std::vector<Uint128> fresh_memo(live_count, 0);
+  std::vector<bool> fresh_memo_valid(live_count, false);
+
+  // --- Compact in place. make() is strictly bottom-up, so children always
+  // precede parents in the arena and one ascending pass can rewrite child
+  // indices through the remap as it goes. Model-count memo entries ride
+  // along: a node's count depends only on its (unchanged) semantics. ---
+  res.remap[kFalse] = kFalse;
+  res.remap[kTrue] = kTrue;
+  const size_t memo_limit = std::min(count_memo_.size(), old_size);
+  NodeIndex next = 2;
+  for (NodeIndex i = 2; i < old_size; ++i) {
+    if (live[i] == 0) continue;
+    const BddNode nd = nodes_[i];
+    nodes_[next] = {nd.var, res.remap[nd.low], res.remap[nd.high]};
+    if (i < memo_limit && count_memo_valid_[i]) {
+      fresh_memo[next] = count_memo_[i];
+      fresh_memo_valid[next] = true;
+    }
+    res.remap[i] = next;
+    ++next;
+  }
+  nodes_.resize(next);
+
+  // --- Rebuild the unique table at right-sized capacity (one pass, no
+  // doubling cascade on the way back up). ---
+  const uint64_t mask = unique_cap - 1;
+  for (NodeIndex i = 2; i < next; ++i) {
+    const BddNode& n = nodes_[i];
+    uint64_t slot = hash_triple(n.var, n.low, n.high) & mask;
+    while (fresh_table[slot] != kEmptySlot) slot = (slot + 1) & mask;
+    fresh_table[slot] = i;
+  }
+  unique_table_ = std::move(fresh_table);
+  unique_mask_ = mask;
+
+  // --- Operation caches key on old indices: replace them. The apply
+  // cache is also right-sized back down so post-GC phases don't drag a
+  // cache grown for the pre-GC peak. ---
+  op_cache_ = std::move(fresh_op);
+  op_cache_mask_ = op_target - 1;
+  std::fill(neg_cache_.begin(), neg_cache_.end(), CacheEntry{});
+  resize_base_hits_ = cache_stats_.hits;
+  resize_base_misses_ = cache_stats_.misses;
+  count_memo_ = std::move(fresh_memo);
+  count_memo_valid_ = std::move(fresh_memo_valid);
+
+  // --- Hand the freed node charge back to the shared budget so sibling
+  // shard managers can use the headroom. ---
+  const size_t reclaimed = old_size - next;
+  if (budget_ != nullptr && reclaimed > 0) {
+    const size_t release = std::min(charged_nodes_, reclaimed);
+    budget_->release_bdd_nodes(release);
+    charged_nodes_ -= release;
+  }
+  live_after_gc_ = next;
+  ++gc_runs_;
+  gc_reclaimed_ += reclaimed;
+  res.live_nodes = next;
+  res.reclaimed = reclaimed;
+  return res;
 }
 
 Bdd BddManager::var(Var v) {
@@ -242,8 +385,7 @@ NodeIndex BddManager::apply_rec(Op op, NodeIndex a, NodeIndex b) {
   assert(a < (1u << 31) && b < (1u << 31));
   const uint64_t key = (static_cast<uint64_t>(op) << 62) |
                        (static_cast<uint64_t>(a) << 31) | static_cast<uint64_t>(b);
-  const uint64_t slot =
-      (key * 0x9e3779b97f4a7c15ULL >> 32) & op_cache_mask_;
+  const uint64_t slot = (key * kGolden >> 32) & op_cache_mask_;
   if (cache_enabled_) {
     const CacheEntry& e = op_cache_[slot];
     if (e.key == key) {
@@ -265,7 +407,37 @@ NodeIndex BddManager::apply_rec(Op op, NodeIndex a, NodeIndex b) {
   const NodeIndex high = apply_rec(op, a_high, b_high);
   const NodeIndex result = make(top, low, high);
 
-  if (cache_enabled_) op_cache_[slot] = {key, result};
+  // make() may have resized the cache; recompute the slot before storing.
+  if (cache_enabled_) op_cache_[(key * kGolden >> 32) & op_cache_mask_] = {key, result};
+  return result;
+}
+
+NodeIndex BddManager::negate(NodeIndex a) { return negate_rec(a); }
+
+NodeIndex BddManager::negate_rec(NodeIndex a) {
+  if (a == kFalse) return kTrue;
+  if (a == kTrue) return kFalse;
+  const uint64_t slot =
+      (static_cast<uint64_t>(a) * kGolden >> 32) & neg_cache_mask_;
+  if (cache_enabled_) {
+    const CacheEntry& e = neg_cache_[slot];
+    if (e.key == a) {
+      ++neg_stats_.hits;
+      return e.result;
+    }
+    ++neg_stats_.misses;
+  }
+  const BddNode nd = nodes_[a];
+  const NodeIndex low = negate_rec(nd.low);
+  const NodeIndex high = negate_rec(nd.high);
+  const NodeIndex result = make(nd.var, low, high);
+  if (cache_enabled_) {
+    neg_cache_[slot] = {a, result};
+    // Negation is an involution: prime the reverse direction too, so
+    // round-trips (covered = NOT uncovered = NOT NOT covered) stay O(1).
+    neg_cache_[(static_cast<uint64_t>(result) * kGolden >> 32) & neg_cache_mask_] = {
+        result, a};
+  }
   return result;
 }
 
@@ -430,6 +602,73 @@ std::string BddManager::to_dot(const Bdd& f) {
 }
 
 // ---------------------------------------------------------------------------
+// NodeIndexMap
+// ---------------------------------------------------------------------------
+
+NodeIndexMap::NodeIndexMap(size_t initial_capacity) {
+  size_t capacity = 16;
+  while (capacity < initial_capacity) capacity *= 2;
+  entries_.assign(capacity, Entry{});
+  mask_ = capacity - 1;
+}
+
+const NodeIndex* NodeIndexMap::find(NodeIndex key) const {
+  size_t slot = slot_of(key);
+  while (true) {
+    const Entry& e = entries_[slot];
+    if (e.key == key) return &e.value;
+    if (e.key == kEmptySlot) return nullptr;
+    slot = (slot + 1) & mask_;
+  }
+}
+
+void NodeIndexMap::insert(NodeIndex key, NodeIndex value) {
+  assert(key != kEmptySlot);
+  if ((size_ + 1) * 4 > entries_.size() * 3) grow();
+  size_t slot = slot_of(key);
+  while (entries_[slot].key != kEmptySlot) {
+    assert(entries_[slot].key != key);  // callers probe with find() first
+    slot = (slot + 1) & mask_;
+  }
+  entries_[slot] = {key, value};
+  ++size_;
+}
+
+void NodeIndexMap::grow() {
+  std::vector<Entry> old = std::move(entries_);
+  entries_.assign(old.size() * 2, Entry{});
+  mask_ = entries_.size() - 1;
+  for (const Entry& e : old) {
+    if (e.key == kEmptySlot) continue;
+    size_t slot = slot_of(e.key);
+    while (entries_[slot].key != kEmptySlot) slot = (slot + 1) & mask_;
+    entries_[slot] = e;
+  }
+}
+
+void NodeIndexMap::remap_values(const GcResult& gc) {
+  size_t survivors = 0;
+  for (const Entry& e : entries_) {
+    if (e.key != kEmptySlot && gc.map(e.value) != GcResult::kDeadNode) ++survivors;
+  }
+  size_t capacity = 16;
+  while (survivors * 4 > capacity * 3) capacity *= 2;
+  std::vector<Entry> old = std::move(entries_);
+  entries_.assign(capacity, Entry{});
+  mask_ = capacity - 1;
+  size_ = 0;
+  for (const Entry& e : old) {
+    if (e.key == kEmptySlot) continue;
+    const NodeIndex renumbered = gc.map(e.value);
+    if (renumbered == GcResult::kDeadNode) continue;  // re-imported on next use
+    size_t slot = slot_of(e.key);
+    while (entries_[slot].key != kEmptySlot) slot = (slot + 1) & mask_;
+    entries_[slot] = {e.key, renumbered};
+    ++size_;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Cross-manager import
 // ---------------------------------------------------------------------------
 
@@ -441,8 +680,7 @@ BddImporter::BddImporter(BddManager& dst, const BddManager& src) : dst_(dst), sr
 
 NodeIndex BddImporter::import_index(NodeIndex root) {
   if (root <= kTrue) return root;  // terminals share indices everywhere
-  const auto hit = memo_.find(root);
-  if (hit != memo_.end()) return hit->second;
+  if (const NodeIndex* hit = memo_.find(root)) return *hit;
   // Copy the fields before recursing: dst_.make() may be src_ itself in
   // degenerate uses, and recursion must not hold a reference into a
   // vector that can reallocate.
@@ -450,7 +688,7 @@ NodeIndex BddImporter::import_index(NodeIndex root) {
   const NodeIndex low = import_index(nd.low);
   const NodeIndex high = import_index(nd.high);
   const NodeIndex out = dst_.make(nd.var, low, high);
-  memo_.emplace(root, out);
+  memo_.insert(root, out);
   return out;
 }
 

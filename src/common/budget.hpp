@@ -73,13 +73,14 @@ class ResourceBudget {
   /// when the reservation would exceed the cap.
   [[nodiscard]] bool try_charge_bdd_nodes(size_t n) const {
     if (max_bdd_nodes_ == 0) {
-      used_bdd_nodes_.fetch_add(n, std::memory_order_relaxed);
+      note_peak(used_bdd_nodes_.fetch_add(n, std::memory_order_relaxed) + n);
       return true;
     }
     size_t used = used_bdd_nodes_.load(std::memory_order_relaxed);
     while (used + n <= max_bdd_nodes_) {
       if (used_bdd_nodes_.compare_exchange_weak(used, used + n,
                                                 std::memory_order_relaxed)) {
+        note_peak(used + n);
         return true;
       }
     }
@@ -89,7 +90,7 @@ class ResourceBudget {
   /// Unconditional charge (used when attaching a manager whose arena
   /// already exists; subsequent allocations then fail fast).
   void charge_bdd_nodes(size_t n) const {
-    used_bdd_nodes_.fetch_add(n, std::memory_order_relaxed);
+    note_peak(used_bdd_nodes_.fetch_add(n, std::memory_order_relaxed) + n);
   }
 
   void release_bdd_nodes(size_t n) const {
@@ -98,6 +99,15 @@ class ResourceBudget {
 
   [[nodiscard]] size_t used_bdd_nodes() const {
     return used_bdd_nodes_.load(std::memory_order_relaxed);
+  }
+
+  /// High-water mark of concurrent node charge across every manager that
+  /// ever attached — the "peak arena nodes" a run actually needed. A GC
+  /// that reclaims nodes lowers used_bdd_nodes() but never this. Monotone;
+  /// maintained with a CAS-max so concurrent shard growth can't lose an
+  /// observation.
+  [[nodiscard]] size_t peak_bdd_nodes() const {
+    return peak_bdd_nodes_.load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] bool has_deadline() const { return has_deadline_; }
@@ -139,6 +149,13 @@ class ResourceBudget {
   }
 
  private:
+  void note_peak(size_t used) const {
+    size_t peak = peak_bdd_nodes_.load(std::memory_order_relaxed);
+    while (used > peak && !peak_bdd_nodes_.compare_exchange_weak(
+                              peak, used, std::memory_order_relaxed)) {
+    }
+  }
+
   Clock::time_point deadline_{};
   double deadline_seconds_ = 0.0;
   bool has_deadline_ = false;
@@ -146,6 +163,7 @@ class ResourceBudget {
   std::atomic<bool> cancelled_{false};
   mutable std::atomic<uint32_t> poll_counter_{0};
   mutable std::atomic<size_t> used_bdd_nodes_{0};
+  mutable std::atomic<size_t> peak_bdd_nodes_{0};
 };
 
 }  // namespace yardstick::ys

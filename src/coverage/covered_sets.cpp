@@ -5,6 +5,7 @@
 #include "common/parallel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "packet/gc_roots.hpp"
 
 namespace yardstick::coverage {
 
@@ -71,7 +72,7 @@ void cover_device(bdd::BddManager& mgr, const dataplane::MatchSetIndex& index,
 
 CoveredSets::CoveredSets(const dataplane::MatchSetIndex& index, const CoverageTrace& trace,
                          const ys::ResourceBudget* budget, unsigned threads,
-                         const CoverPrefill* prefill)
+                         const CoverPrefill* prefill, double gc_threshold)
     : index_(index), trace_(trace), truncated_(index.truncated()) {
   obs::Span build_span("covered_sets.build", "offline");
   bdd::BddManager& mgr = index.manager();
@@ -102,7 +103,11 @@ CoveredSets::CoveredSets(const dataplane::MatchSetIndex& index, const CoverageTr
   build_span.arg("rules", network.rule_count());
   build_span.arg("workers", workers);
 
-  if (workers <= 1) {
+  // As in MatchSetIndex: GC runs only on shard managers, so an armed
+  // threshold forces the sharded path even at one thread.
+  const bool sharded = workers > 1 || (gc_threshold > 0.0 && !work.empty());
+
+  if (!sharded) {
     const auto identity = [](const PacketSet& ps) -> const PacketSet& { return ps; };
     try {
       for (const net::Device* dev : work) {
@@ -130,11 +135,32 @@ CoveredSets::CoveredSets(const dataplane::MatchSetIndex& index, const CoverageTr
       const auto import = [&from_primary](const PacketSet& ps) {
         return PacketSet(from_primary.import(ps.raw()));
       };
+      // shard.covered is fully sized above and never reallocates, so the
+      // tracker may hold raw pointers into it across the whole build.
+      if (gc_threshold > 0.0) shard.mgr->set_gc_threshold(gc_threshold);
+      packet::GcRootTracker gc_roots(*shard.mgr);
       try {
         for (size_t d = w; d < work.size(); d += workers) {
           if (budget != nullptr) budget->poll("covered-set computation");
-          cover_device(*shard.mgr, index, trace, *work[d], import,
+          const net::Device& dev = *work[d];
+          cover_device(*shard.mgr, index, trace, dev, import,
                        /*skip_marked=*/true, shard.covered);
+          if (gc_threshold > 0.0) {
+            for (const net::TableKind table :
+                 {net::TableKind::Acl, net::TableKind::Fib}) {
+              for (const net::RuleId rid : network.table(dev.id, table)) {
+                gc_roots.track(shard.covered[rid.value]);
+              }
+            }
+            if (gc_roots.due()) {
+              // The input importer's memo values live in this manager:
+              // collect() renumbers them (dead entries re-import later).
+              obs::Span gc_span("bdd.gc", "offline");
+              const bdd::GcResult gc = gc_roots.collect(&from_primary);
+              gc_span.arg("reclaimed", gc.reclaimed);
+              gc_span.arg("live", gc.live_nodes);
+            }
+          }
         }
       } catch (const ys::StatusError& e) {
         if (!ys::is_resource_exhaustion(e.code())) throw;
@@ -180,6 +206,21 @@ CoveredSets::CoveredSets(const dataplane::MatchSetIndex& index, const CoverageTr
       size_t total = 0;
       for (const auto& imp : importers) total += imp->imported_nodes();
       imported.add(total);
+      static obs::Counter& gc_runs = obs::metrics().counter(
+          "ys.bdd.gc.runs", "phase-boundary mark-compact collections");
+      static obs::Counter& gc_reclaimed = obs::metrics().counter(
+          "ys.bdd.gc.reclaimed_nodes", "dead BDD nodes reclaimed by GC");
+      static obs::Counter& shard_hits = obs::metrics().counter(
+          "ys.bdd.shard_cache_hits", "apply-cache hits across shard managers");
+      static obs::Counter& shard_misses = obs::metrics().counter(
+          "ys.bdd.shard_cache_misses", "apply-cache misses across shard managers");
+      for (const CoverShard& shard : shards) {
+        const bdd::BddManager::Stats s = shard.mgr->stats();
+        gc_runs.add(s.gc_runs);
+        gc_reclaimed.add(s.gc_reclaimed_nodes);
+        shard_hits.add(s.cache_hits);
+        shard_misses.add(s.cache_misses);
+      }
     }
     // Release the shards' node accounting before their managers die.
     for (CoverShard& shard : shards) shard.mgr->set_budget(nullptr);

@@ -52,9 +52,15 @@ class CoveredSets {
   /// a subset of devices; Algorithm 1 runs only over the misses, and the
   /// result is bit-identical to a full run (cached sets are canonical in
   /// the index's manager).
+  ///
+  /// `gc_threshold` in (0, 1] arms phase-boundary mark-compact GC on the
+  /// per-worker shard managers (collected between devices against the
+  /// covered sets built so far; the input importer's memo follows the
+  /// renumbering). Enabling GC forces the sharded path even at one thread;
+  /// the primary manager is never collected. 0 disables.
   CoveredSets(const dataplane::MatchSetIndex& index, const CoverageTrace& trace,
               const ys::ResourceBudget* budget = nullptr, unsigned threads = 1,
-              const CoverPrefill* prefill = nullptr);
+              const CoverPrefill* prefill = nullptr, double gc_threshold = 0.0);
 
   /// Structural clone onto another index (itself a clone of the original
   /// index into a different manager): copies every covered set into

@@ -5,6 +5,7 @@
 #include "common/parallel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "packet/gc_roots.hpp"
 
 namespace yardstick::dataplane {
 
@@ -82,7 +83,7 @@ struct BuildShard {
 
 MatchSetIndex::MatchSetIndex(bdd::BddManager& mgr, const net::Network& network,
                              const ys::ResourceBudget* budget, unsigned threads,
-                             const MatchPrefill* prefill)
+                             const MatchPrefill* prefill, double gc_threshold)
     : mgr_(mgr), network_(network) {
   obs::Span build_span("match_sets.build", "offline");
   const size_t num_rules = network.rule_count();
@@ -119,7 +120,12 @@ MatchSetIndex::MatchSetIndex(bdd::BddManager& mgr, const net::Network& network,
   build_span.arg("rules", num_rules);
   build_span.arg("workers", workers);
 
-  if (workers <= 1) {
+  // GC runs only on shard managers (the primary holds handles this builder
+  // does not own), so an armed threshold routes even a one-thread build
+  // through the sharded path — bit-identical to serial by construction.
+  const bool sharded = workers > 1 || (gc_threshold > 0.0 && !work.empty());
+
+  if (!sharded) {
     try {
       for (const net::Device* dev : work) {
         if (budget != nullptr) budget->poll("match-set computation");
@@ -147,12 +153,34 @@ MatchSetIndex::MatchSetIndex(bdd::BddManager& mgr, const net::Network& network,
       shard.match_sets.resize(num_rules);
       shard.matched_space.resize(network.device_count());
       shard.acl_permitted.resize(network.device_count());
+      // Result vectors are fully sized above and never reallocate, so the
+      // tracker may hold raw pointers into them across the whole build.
+      if (gc_threshold > 0.0) shard.mgr->set_gc_threshold(gc_threshold);
+      packet::GcRootTracker gc_roots(*shard.mgr);
       try {
         for (size_t d = w; d < work.size(); d += workers) {
           if (budget != nullptr) budget->poll("match-set computation");
-          build_device_tables(*shard.mgr, network, *work[d], shard.match_fields,
+          const net::Device& dev = *work[d];
+          build_device_tables(*shard.mgr, network, dev, shard.match_fields,
                               shard.match_sets, shard.matched_space,
                               shard.acl_permitted);
+          if (gc_threshold > 0.0) {
+            for (const net::TableKind table :
+                 {net::TableKind::Acl, net::TableKind::Fib}) {
+              for (const net::RuleId rid : network.table(dev.id, table)) {
+                gc_roots.track(shard.match_fields[rid.value]);
+                gc_roots.track(shard.match_sets[rid.value]);
+              }
+            }
+            gc_roots.track(shard.matched_space[dev.id.value]);
+            gc_roots.track(shard.acl_permitted[dev.id.value]);
+            if (gc_roots.due()) {
+              obs::Span gc_span("bdd.gc", "offline");
+              const bdd::GcResult gc = gc_roots.collect();
+              gc_span.arg("reclaimed", gc.reclaimed);
+              gc_span.arg("live", gc.live_nodes);
+            }
+          }
         }
       } catch (const ys::StatusError& e) {
         if (!ys::is_resource_exhaustion(e.code())) throw;
@@ -200,6 +228,21 @@ MatchSetIndex::MatchSetIndex(bdd::BddManager& mgr, const net::Network& network,
       size_t total = 0;
       for (const auto& imp : importers) total += imp->imported_nodes();
       imported.add(total);
+      static obs::Counter& gc_runs = obs::metrics().counter(
+          "ys.bdd.gc.runs", "phase-boundary mark-compact collections");
+      static obs::Counter& gc_reclaimed = obs::metrics().counter(
+          "ys.bdd.gc.reclaimed_nodes", "dead BDD nodes reclaimed by GC");
+      static obs::Counter& shard_hits = obs::metrics().counter(
+          "ys.bdd.shard_cache_hits", "apply-cache hits across shard managers");
+      static obs::Counter& shard_misses = obs::metrics().counter(
+          "ys.bdd.shard_cache_misses", "apply-cache misses across shard managers");
+      for (const BuildShard& shard : shards) {
+        const bdd::BddManager::Stats s = shard.mgr->stats();
+        gc_runs.add(s.gc_runs);
+        gc_reclaimed.add(s.gc_reclaimed_nodes);
+        shard_hits.add(s.cache_hits);
+        shard_misses.add(s.cache_misses);
+      }
     }
     // Release the shards' node accounting before their managers die.
     for (BuildShard& shard : shards) shard.mgr->set_budget(nullptr);

@@ -56,9 +56,17 @@ class MatchSetIndex {
   /// for a subset of devices; only the misses are walked (serially or
   /// sharded). Because both cached and recomputed sets are canonical in
   /// `mgr`, a prefilled build is bit-identical to a full one.
+  ///
+  /// `gc_threshold` in (0, 1] arms phase-boundary mark-compact GC on the
+  /// per-worker shard managers: after each device's walk, a shard whose
+  /// dead fraction may have reached the threshold is collected against the
+  /// results built so far. Enabling GC forces the sharded build path even
+  /// at one thread (the primary manager is never collected — it holds
+  /// handles this builder does not own), which is bit-identical to the
+  /// serial path by the merge-canonicalization argument above. 0 disables.
   MatchSetIndex(bdd::BddManager& mgr, const net::Network& network,
                 const ys::ResourceBudget* budget = nullptr, unsigned threads = 1,
-                const MatchPrefill* prefill = nullptr);
+                const MatchPrefill* prefill = nullptr, double gc_threshold = 0.0);
 
   /// Structural clone into another manager: copies every packet set of
   /// `other` into `dst` (memoized import, shared subgraphs copied once).

@@ -54,13 +54,22 @@ void sample_engine_gauges(const bdd::BddManager& mgr, const ResourceBudget* budg
       .set(static_cast<double>(stats.cache_hits));
   reg.gauge("ys.bdd.cache_misses", "apply-cache misses on the primary manager")
       .set(static_cast<double>(stats.cache_misses));
-  reg.gauge("ys.bdd.unique_table_growths",
-            "unique-table rehash events (no GC in this engine; growth is the "
-            "arena-pressure signal)")
+  reg.gauge("ys.bdd.unique_table_growths", "unique-table rehash events")
       .set(static_cast<double>(stats.unique_table_growths));
+  reg.gauge("ys.bdd.op_cache_entries", "adaptive apply-cache capacity (entries)")
+      .set(static_cast<double>(stats.op_cache_entries));
+  reg.gauge("ys.bdd.op_cache_growths", "adaptive apply-cache resize events")
+      .set(static_cast<double>(stats.op_cache_growths));
+  reg.gauge("ys.bdd.neg_cache_hits", "complement-memo hits on the primary manager")
+      .set(static_cast<double>(stats.neg_cache_hits));
+  reg.gauge("ys.bdd.neg_cache_misses", "complement-memo misses on the primary manager")
+      .set(static_cast<double>(stats.neg_cache_misses));
   if (budget != nullptr) {
     reg.gauge("ys.budget.used_bdd_nodes", "nodes charged against the shared budget")
         .set(static_cast<double>(budget->used_bdd_nodes()));
+    reg.gauge("ys.budget.peak_bdd_nodes",
+              "high-water mark of concurrent node charge across all managers")
+        .set(static_cast<double>(budget->peak_bdd_nodes()));
     reg.gauge("ys.budget.max_bdd_nodes", "node cap (0 = unlimited)")
         .set(static_cast<double>(budget->max_bdd_nodes()));
     reg.gauge("ys.budget.exhausted", "1 when deadline/cancel tripped")
@@ -76,7 +85,8 @@ dataplane::MatchSetIndex CoverageEngine::timed_match_sets(
   PhaseTimer timer(timings.match_sets_seconds);
   return dataplane::MatchSetIndex(mgr, network, options.budget, options.threads,
                                   incremental != nullptr ? incremental->match_prefill()
-                                                         : nullptr);
+                                                         : nullptr,
+                                  options.gc_threshold);
 }
 
 coverage::CoveredSets CoverageEngine::timed_covered_sets(
@@ -86,7 +96,8 @@ coverage::CoveredSets CoverageEngine::timed_covered_sets(
   PhaseTimer timer(timings.covered_sets_seconds);
   return coverage::CoveredSets(index, trace, options.budget, options.threads,
                                incremental != nullptr ? incremental->cover_prefill()
-                                                      : nullptr);
+                                                      : nullptr,
+                               options.gc_threshold);
 }
 
 std::unique_ptr<IncrementalSession> CoverageEngine::make_incremental(

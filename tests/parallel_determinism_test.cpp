@@ -29,12 +29,14 @@ struct EngineRun {
 };
 
 EngineRun run_engine(const net::Network& network, const coverage::CoverageTrace& trace,
-                     unsigned threads, const ys::ResourceBudget* budget = nullptr) {
+                     unsigned threads, const ys::ResourceBudget* budget = nullptr,
+                     double gc_threshold = 0.0) {
   EngineRun run;
   run.mgr = std::make_unique<bdd::BddManager>(packet::kNumHeaderBits);
   run.trace = trace.imported_into(*run.mgr);
   run.engine = std::make_unique<ys::CoverageEngine>(
-      *run.mgr, network, run.trace, ys::EngineOptions{budget, threads});
+      *run.mgr, network, run.trace,
+      ys::EngineOptions{budget, threads, /*cache_dir=*/"", gc_threshold});
   return run;
 }
 
@@ -155,6 +157,44 @@ TEST_F(ParallelDeterminismTest, RegionalSetsAndMetricsBitIdentical) {
     expect_same_sets(region.network, *serial.engine, *parallel.engine, threads);
     expect_same_metrics(serial_row, parallel.engine->metrics(), threads);
   }
+}
+
+TEST_F(ParallelDeterminismTest, GcOnOffBitIdenticalAcrossThreadCounts) {
+  topo::FatTree tree = topo::make_fat_tree({.k = 4});
+  routing::FibBuilder::compute_and_build(tree.network, tree.routing);
+  const coverage::CoverageTrace trace = fat_tree_trace(tree);
+
+  // Ground truth: serial, GC off.
+  const EngineRun serial = run_engine(tree.network, trace, 1);
+  ASSERT_FALSE(serial.engine->truncated());
+  const ys::MetricRow serial_row = serial.engine->metrics();
+
+  // GC only renumbers shard-private nodes, so an aggressive threshold must
+  // leave every set and metric bit-identical at any thread count —
+  // including 1, where an armed GC forces the sharded path.
+  for (const unsigned threads : {1u, 4u, 8u}) {
+    const EngineRun gc_run =
+        run_engine(tree.network, trace, threads, nullptr, /*gc_threshold=*/0.05);
+    EXPECT_FALSE(gc_run.engine->truncated()) << threads << " threads";
+    expect_same_sets(tree.network, *serial.engine, *gc_run.engine, threads);
+    expect_same_metrics(serial_row, gc_run.engine->metrics(), threads);
+  }
+}
+
+TEST_F(ParallelDeterminismTest, GcUnderBudgetKeepsAccountingBalanced) {
+  topo::FatTree tree = topo::make_fat_tree({.k = 4});
+  routing::FibBuilder::compute_and_build(tree.network, tree.routing);
+  const coverage::CoverageTrace trace = fat_tree_trace(tree);
+
+  // Roomy cap: the build completes; GC'd shards must return their charge so
+  // the budget drains back to exactly the primary manager's arena.
+  ys::ResourceBudget budget;
+  budget.with_max_bdd_nodes(50'000'000);
+  const EngineRun run =
+      run_engine(tree.network, trace, 4, &budget, /*gc_threshold=*/0.05);
+  EXPECT_FALSE(run.engine->truncated());
+  EXPECT_EQ(budget.used_bdd_nodes(), run.mgr->arena_size());
+  EXPECT_GE(budget.peak_bdd_nodes(), budget.used_bdd_nodes());
 }
 
 TEST_F(ParallelDeterminismTest, TrippingBudgetTruncatesInEveryMode) {

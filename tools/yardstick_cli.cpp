@@ -113,6 +113,7 @@ struct CliOptions {
   double deadline_s = 0.0;       // 0 = unlimited
   size_t max_bdd_nodes = 0;      // 0 = unlimited
   unsigned threads = 0;          // offline-phase workers; 0 = all hardware threads
+  double gc_threshold = 0.0;     // shard-manager GC dead-fraction trigger; 0 = off
   std::string cache_dir;         // incremental result cache; empty = off
   std::optional<std::string> trace_out;    // Chrome trace-event JSON
   std::optional<std::string> metrics_out;  // metrics JSON (+ FILE.prom)
@@ -137,6 +138,9 @@ int usage(const char* argv0) {
                "  --max-bdd-nodes N    cap BDD arena size (partial results)\n"
                "  --threads N          offline-phase worker threads (default: all\n"
                "                       hardware threads; results are identical)\n"
+               "  --gc-threshold F     collect shard BDD arenas when the dead fraction\n"
+               "                       may exceed F in (0,1] (default off; results are\n"
+               "                       identical, peak memory shrinks)\n"
                "  --incremental        cache offline-phase results in .yardstick-cache\n"
                "                       and recompute only what changed (bit-identical)\n"
                "  --cache-dir DIR      like --incremental, with an explicit cache directory\n"
@@ -219,6 +223,11 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       int n = 0;
       if (!next_int(n)) return std::nullopt;
       opts.threads = static_cast<unsigned>(n);
+    } else if (arg == "--gc-threshold") {
+      if (i + 1 >= argc || !parse_f64(argv[++i], opts.gc_threshold) ||
+          opts.gc_threshold <= 0.0 || opts.gc_threshold > 1.0) {
+        return std::nullopt;
+      }
     } else if (arg == "--incremental") {
       if (opts.cache_dir.empty()) opts.cache_dir = ".yardstick-cache";
     } else if (arg == "--cache-dir") {
@@ -368,7 +377,8 @@ int run_impl(const CliOptions& opts) {
 
   const ys::CoverageEngine engine(
       mgr, *network, tracker.trace(),
-      ys::EngineOptions{budgeted ? &budget : nullptr, opts.threads, opts.cache_dir});
+      ys::EngineOptions{budgeted ? &budget : nullptr, opts.threads, opts.cache_dir,
+                        opts.gc_threshold});
   // Cache telemetry goes to stderr so stdout (human or JSON report) stays
   // byte-identical to a from-scratch run — which is what CI diffs.
   if (const ys::CacheStats* cs = engine.cache_stats()) {
