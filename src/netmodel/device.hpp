@@ -83,6 +83,10 @@ struct Device {
   std::vector<packet::Ipv4Prefix> loopbacks;
   /// Aggregated host subnets advertised by a ToR.
   std::vector<packet::Ipv4Prefix> host_prefixes;
+  /// Tunnel endpoint addresses (/32) terminated here. Originated into BGP
+  /// like loopbacks, but *not* installed as local FIB routes at the origin —
+  /// delivery at the endpoint is the decap rule's job (src/topo/transforms).
+  std::vector<packet::Ipv4Prefix> tunnel_endpoints;
 };
 
 /// An undirected link between two interfaces with its /31 subnet.

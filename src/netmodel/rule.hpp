@@ -116,6 +116,8 @@ enum class RouteKind : uint8_t {
   WideArea,   // routes learned from the WAN
   DropRule,   // explicit discard (e.g. null route)
   Security,   // ACL entries (permit/deny)
+  Tunnel,     // tunnel encap (VIP -> endpoint) / decap (endpoint -> inner)
+  Nat,        // NAT-style source rewrite at the WAN edge
   Other,
 };
 
@@ -127,6 +129,8 @@ enum class RouteKind : uint8_t {
     case RouteKind::WideArea: return "wide-area";
     case RouteKind::DropRule: return "drop";
     case RouteKind::Security: return "security";
+    case RouteKind::Tunnel: return "tunnel";
+    case RouteKind::Nat: return "nat";
     case RouteKind::Other: return "other";
   }
   return "?";

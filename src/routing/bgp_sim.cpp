@@ -22,6 +22,7 @@ SimRib BgpSimulator::originated_entries(const net::Device& dev) const {
 
   for (const Ipv4Prefix& p : dev.host_prefixes) originate(p, net::RouteKind::Internal);
   for (const Ipv4Prefix& p : dev.loopbacks) originate(p, net::RouteKind::Internal);
+  for (const Ipv4Prefix& p : dev.tunnel_endpoints) originate(p, net::RouteKind::Internal);
 
   if (dev.role == net::Role::Wan) {
     if (config_.wan_originates_default) {

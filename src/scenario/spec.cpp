@@ -1,0 +1,160 @@
+#include "scenario/spec.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/status.hpp"
+
+namespace yardstick::scenario {
+
+namespace {
+
+/// Split a line into whitespace-separated tokens.
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) ++i;
+    size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t' && line[j] != '\r') ++j;
+    if (j > i) out.emplace_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace
+
+ScenarioSpec ScenarioSpec::parse(std::string_view text) {
+  ScenarioSpec spec;
+  std::unordered_set<std::string> names;
+  size_t lineno = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++lineno;
+
+    const std::vector<std::string> tok = tokenize(line);
+    if (tok.empty() || tok[0][0] == '#') continue;
+    const auto err = [&](const std::string& what) {
+      throw ys::InvalidInputError("scenario spec line " + std::to_string(lineno) + ": " +
+                                  what);
+    };
+    if (tok[0] == "scenario") {
+      if (tok.size() != 2) err("expected: scenario <name>");
+      if (!names.insert(tok[1]).second) err("duplicate scenario name " + tok[1]);
+      spec.scenarios.push_back({.name = tok[1], .down_devices = {}, .down_links = {}});
+    } else if (tok[0] == "device") {
+      if (spec.scenarios.empty()) err("'device' before any 'scenario'");
+      if (tok.size() != 2) err("expected: device <name>");
+      spec.scenarios.back().down_devices.push_back(tok[1]);
+    } else if (tok[0] == "link") {
+      if (spec.scenarios.empty()) err("'link' before any 'scenario'");
+      if (tok.size() != 3) err("expected: link <deviceA> <deviceB>");
+      spec.scenarios.back().down_links.emplace_back(tok[1], tok[2]);
+    } else {
+      err("unknown directive '" + tok[0] + "'");
+    }
+  }
+  if (spec.scenarios.empty()) {
+    throw ys::InvalidInputError("scenario spec declares no scenarios");
+  }
+  for (const Scenario& s : spec.scenarios) {
+    if (s.down_devices.empty() && s.down_links.empty()) {
+      throw ys::InvalidInputError("scenario '" + s.name + "' fails nothing");
+    }
+  }
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ys::IoError("cannot open scenario spec " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) throw ys::IoError("cannot read scenario spec " + path);
+  return parse(buf.str());
+}
+
+std::string ScenarioSpec::to_text() const {
+  std::string out;
+  for (const Scenario& s : scenarios) {
+    out += "scenario " + s.name + "\n";
+    for (const std::string& d : s.down_devices) out += "device " + d + "\n";
+    for (const auto& [a, b] : s.down_links) out += "link " + a + " " + b + "\n";
+  }
+  return out;
+}
+
+ResolvedScenario resolve(const Scenario& s, const net::Network& network) {
+  ResolvedScenario out;
+  out.name = s.name;
+  const auto device = [&](const std::string& name) {
+    const auto id = network.find_device(name);
+    if (!id) {
+      throw ys::InvalidInputError("scenario '" + s.name + "': unknown device " + name);
+    }
+    return *id;
+  };
+  for (const std::string& d : s.down_devices) out.devices.insert(device(d));
+  for (const auto& [a, b] : s.down_links) {
+    const net::DeviceId da = device(a);
+    const net::DeviceId db = device(b);
+    const auto intf = network.interface_towards(da, db);
+    if (!intf || !network.interface(*intf).link.valid()) {
+      throw ys::InvalidInputError("scenario '" + s.name + "': no link between " + a +
+                                  " and " + b);
+    }
+    out.links.insert(network.interface(*intf).link);
+  }
+  return out;
+}
+
+ScenarioSpec random_link_scenarios(const net::Network& network, int count, uint64_t seed,
+                                   int links_per_scenario) {
+  if (count < 1 || links_per_scenario < 1) {
+    throw ys::InvalidInputError("random scenario counts must be positive");
+  }
+  // Candidate pool: fabric-to-fabric links, in link-id order.
+  std::vector<net::LinkId> pool;
+  for (const net::Link& link : network.links()) {
+    const net::Interface& a = network.interface(link.a);
+    const net::Interface& b = network.interface(link.b);
+    if (a.kind == net::PortKind::Fabric && b.kind == net::PortKind::Fabric) {
+      pool.push_back(link.id);
+    }
+  }
+  if (pool.size() < static_cast<size_t>(links_per_scenario)) {
+    throw ys::InvalidInputError("network has fewer fabric links than requested per scenario");
+  }
+
+  // mt19937_64's output sequence is fixed by the standard; combined with
+  // explicit modular draws the scenario set is platform-independent.
+  std::mt19937_64 gen(seed);
+  ScenarioSpec spec;
+  for (int i = 0; i < count; ++i) {
+    Scenario s;
+    s.name = "rand-" + std::to_string(i);
+    // Partial Fisher-Yates over a fresh copy: distinct links per scenario.
+    std::vector<net::LinkId> links = pool;
+    for (int j = 0; j < links_per_scenario; ++j) {
+      const size_t pick = static_cast<size_t>(j) +
+                          static_cast<size_t>(gen() % (links.size() - static_cast<size_t>(j)));
+      std::swap(links[static_cast<size_t>(j)], links[pick]);
+      const net::Link& link = network.link(links[static_cast<size_t>(j)]);
+      s.down_links.emplace_back(
+          network.device(network.interface(link.a).device).name,
+          network.device(network.interface(link.b).device).name);
+    }
+    spec.scenarios.push_back(std::move(s));
+  }
+  return spec;
+}
+
+}  // namespace yardstick::scenario

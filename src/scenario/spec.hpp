@@ -1,0 +1,71 @@
+// ScenarioSpec — named what-if failure scenarios for coverage-under-failure
+// analysis (DESIGN.md §13).
+//
+// A spec is an ordered list of scenarios; each scenario is a set of failed
+// devices and/or failed links, by name. The text format is line-based:
+//
+//   # k=8 sweep, hand-picked
+//   scenario spine-loss
+//   device dc0-spine-0
+//   link dc0-pod0-tor-0 dc0-pod0-agg-1
+//
+//   scenario border-outage
+//   device wan-0
+//
+// Names are resolved against a concrete Network only when a run starts, so
+// the same spec file can drive differently-sized topologies as long as the
+// device names exist.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "netmodel/network.hpp"
+
+namespace yardstick::scenario {
+
+struct Scenario {
+  std::string name;
+  std::vector<std::string> down_devices;
+  /// Links identified by their two endpoint device names.
+  std::vector<std::pair<std::string, std::string>> down_links;
+};
+
+struct ScenarioSpec {
+  std::vector<Scenario> scenarios;
+
+  /// Parse the text format above. Throws ys::InvalidInputError on malformed
+  /// lines, duplicate scenario names, or an empty spec.
+  [[nodiscard]] static ScenarioSpec parse(std::string_view text);
+
+  /// Read and parse a spec file. Throws ys::IoError / InvalidInputError.
+  [[nodiscard]] static ScenarioSpec load(const std::string& path);
+
+  /// Serialize back to the text format (round-trips through parse()).
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// A scenario with its names resolved to ids on one network.
+struct ResolvedScenario {
+  std::string name;
+  std::unordered_set<net::DeviceId> devices;
+  std::unordered_set<net::LinkId> links;
+};
+
+/// Resolve names against `network`. Throws ys::InvalidInputError on unknown
+/// device names or device pairs with no connecting link.
+[[nodiscard]] ResolvedScenario resolve(const Scenario& s, const net::Network& network);
+
+/// Generate `count` scenarios, each failing `links_per_scenario` distinct
+/// fabric links chosen by a seeded PRNG. Fully deterministic for a given
+/// (network, count, seed, links_per_scenario) — uses explicit modular
+/// draws, never std::uniform_int_distribution, so the choice sequence is
+/// identical across standard libraries and platforms.
+[[nodiscard]] ScenarioSpec random_link_scenarios(const net::Network& network, int count,
+                                                 uint64_t seed,
+                                                 int links_per_scenario = 1);
+
+}  // namespace yardstick::scenario

@@ -1,0 +1,127 @@
+#include "topo/transforms.hpp"
+
+#include "common/status.hpp"
+#include "packet/fields.hpp"
+
+namespace yardstick::topo {
+
+using net::Action;
+using net::DeviceId;
+using net::InterfaceId;
+using net::MatchSpec;
+using net::RouteKind;
+using net::TableKind;
+using packet::Ipv4Prefix;
+
+namespace {
+
+constexpr uint32_t kVipBase = 0xC6120000u;       // 198.18.0.0/16
+constexpr uint32_t kEndpointBase = 0xC6130000u;  // 198.19.0.0/16
+constexpr uint32_t kNatPoolBase = 0xCB007100u;   // 203.0.113.0/24
+
+/// Priorities below the shortest FIB prefix priority (32 - len) so
+/// transform rules are matched ahead of the routed entries they overlay.
+constexpr uint32_t kTunnelPriority = 0;
+constexpr uint32_t kNatPriority = 1;
+
+}  // namespace
+
+TransformState plan_transforms(RegionalNetwork& region, const TransformParams& params) {
+  if (params.tunnels < 0 || params.nat_rules_per_wan < 0) {
+    throw ys::InvalidInputError("transform counts must be non-negative");
+  }
+  TransformState state;
+  state.nat_rules_per_wan = params.nat_rules_per_wan;
+  state.wans = region.wans;
+
+  if (params.tunnels > 0 && region.tors.size() < 2) {
+    throw ys::InvalidInputError("tunnels require at least two ToRs");
+  }
+  if (params.tunnels > (1 << 16) - 1) {
+    throw ys::InvalidInputError("tunnel VIP space exhausted");
+  }
+
+  net::Network& net = region.network;
+  const size_t n = region.tors.size();
+  for (int t = 0; t < params.tunnels; ++t) {
+    TunnelPlan plan;
+    // Round-robin ingress; egress offset by half the ring so pairs span
+    // pods/datacenters and the fabric actually carries the encapped flow.
+    plan.ingress = region.tors[static_cast<size_t>(t) % n];
+    plan.egress = region.tors[(static_cast<size_t>(t) + (n + 1) / 2) % n];
+    if (plan.egress == plan.ingress) {
+      plan.egress = region.tors[(static_cast<size_t>(t) + 1) % n];
+    }
+    plan.vip = Ipv4Prefix(kVipBase + static_cast<uint32_t>(t), 32);
+    plan.endpoint = Ipv4Prefix(kEndpointBase + static_cast<uint32_t>(t), 32);
+
+    net::Device& egress = net.device(plan.egress);
+    if (egress.host_prefixes.empty()) {
+      throw ys::InvalidInputError("tunnel egress ToR has no hosted subnet");
+    }
+    plan.inner_dst = egress.host_prefixes.front().first() + 1;
+    egress.tunnel_endpoints.push_back(plan.endpoint);
+    state.tunnels.push_back(plan);
+  }
+  return state;
+}
+
+void install_transform_rules(net::Network& network, const TransformState& state,
+                             const routing::RoutingConfig& routing) {
+  const auto northbound = [&](DeviceId dev) {
+    std::vector<InterfaceId> up;
+    const int my_tier = routing::tier(network.device(dev).role);
+    for (const auto& [intf, peer] : network.neighbors(dev)) {
+      if (!routing.link_usable(network, intf)) continue;
+      if (routing::tier(network.device(peer).role) > my_tier) up.push_back(intf);
+    }
+    return up;
+  };
+
+  for (const TunnelPlan& plan : state.tunnels) {
+    // Encap at the ingress ToR: ECMP over the surviving uplinks. With every
+    // uplink down the VIP blackholes — the scenario report should see that.
+    if (!routing.failed_devices.contains(plan.ingress)) {
+      std::vector<InterfaceId> uplinks = northbound(plan.ingress);
+      Action encap = uplinks.empty() ? Action::drop() : Action::forward(std::move(uplinks));
+      encap.rewrites.push_back({packet::Field::DstIp, plan.endpoint.address()});
+      network.add_rule(plan.ingress, MatchSpec::for_dst(plan.vip), std::move(encap),
+                       RouteKind::Tunnel, kTunnelPriority, TableKind::Fib);
+    }
+    // Decap at the egress ToR: deliver to the first host port with the
+    // inner (hosted) destination restored.
+    if (!routing.failed_devices.contains(plan.egress)) {
+      const std::vector<InterfaceId> hosts =
+          network.ports_of_kind(plan.egress, net::PortKind::HostPort);
+      Action decap = hosts.empty() ? Action::drop() : Action::forward({hosts.front()});
+      decap.rewrites.push_back({packet::Field::DstIp, plan.inner_dst});
+      network.add_rule(plan.egress, MatchSpec::for_dst(plan.endpoint), std::move(decap),
+                       RouteKind::Tunnel, kTunnelPriority, TableKind::Fib);
+    }
+  }
+
+  if (state.nat_rules_per_wan <= 0) return;
+  for (const DeviceId wan : state.wans) {
+    if (routing.failed_devices.contains(wan)) continue;
+    const auto it = routing.wide_area_prefixes.find(wan);
+    if (it == routing.wide_area_prefixes.end() || it->second.empty()) continue;
+    const std::vector<InterfaceId> external =
+        network.ports_of_kind(wan, net::PortKind::ExternalPort);
+    if (external.empty()) continue;
+    for (int i = 0; i < state.nat_rules_per_wan; ++i) {
+      // Internally-sourced traffic to a wide-area prefix leaves with its
+      // source translated into the pool; everything else falls through to
+      // the plain wide-area route below.
+      MatchSpec match = MatchSpec::for_dst(it->second[static_cast<size_t>(i) %
+                                                      it->second.size()]);
+      match.src_prefix = Ipv4Prefix(0x0A000000u, 9);
+      Action nat = Action::forward(external);
+      nat.rewrites.push_back(
+          {packet::Field::SrcIp, kNatPoolBase + static_cast<uint32_t>(i % 254) + 1});
+      network.add_rule(wan, std::move(match), std::move(nat), RouteKind::Nat,
+                       kNatPriority, TableKind::Fib);
+    }
+  }
+}
+
+}  // namespace yardstick::topo

@@ -1,0 +1,73 @@
+// Transforming-rule overlay for the regional generator: tunnels and NAT.
+//
+// Two-phase contract, split around FIB computation:
+//
+//   1. plan_transforms() runs *before* routing. It picks deterministic
+//      (ingress ToR, egress ToR) tunnel pairs, allocates a VIP and a tunnel
+//      endpoint address per tunnel, and registers each endpoint on the
+//      egress device's `tunnel_endpoints` so the BGP simulator originates
+//      it network-wide. Endpoints are deliberately not loopbacks: the FIB
+//      builder would otherwise install a local route at the origin that
+//      shadows the decap rule.
+//
+//   2. install_transform_rules() runs *after* every FIB (re)build — it must
+//      be re-applied whenever FibBuilder wipes the tables, e.g. per failure
+//      scenario. It installs, honoring the failure sets in RoutingConfig:
+//        - encap  (ingress ToR): dst=VIP/32 -> rewrite dst to the endpoint,
+//          ECMP across the surviving northbound fabric links (the group
+//          rehashes when links fail; with no uplinks left it blackholes);
+//        - decap  (egress ToR):  dst=endpoint/32 -> rewrite dst to a hosted
+//          address and deliver out the first host port;
+//        - NAT    (each WAN):    dst=<wide-area prefix>, src=10.0.0.0/9 ->
+//          rewrite src into the 203.0.113.0/24 pool, egress external.
+//
+// Address carving (disjoint from SubnetAllocator's ranges):
+//   VIPs              198.18.0.0/16  (one /32 per tunnel)
+//   tunnel endpoints  198.19.0.0/16  (one /32 per tunnel)
+//   NAT pool          203.0.113.0/24
+#pragma once
+
+#include <vector>
+
+#include "topo/regional.hpp"
+
+namespace yardstick::topo {
+
+struct TransformParams {
+  /// Number of VIP tunnels (ingress/egress ToR pairs, chosen round-robin).
+  int tunnels = 0;
+  /// NAT-style source-rewrite rules installed on every WAN router.
+  int nat_rules_per_wan = 0;
+};
+
+/// One planned tunnel: packets entering `ingress` destined to `vip` are
+/// encapped (dst rewritten to `endpoint`), routed across the fabric, and
+/// decapped at `egress` (dst rewritten to `inner_dst`, a hosted address).
+struct TunnelPlan {
+  net::DeviceId ingress;
+  net::DeviceId egress;
+  packet::Ipv4Prefix vip;       // /32 in 198.18.0.0/16
+  packet::Ipv4Prefix endpoint;  // /32 in 198.19.0.0/16
+  uint32_t inner_dst = 0;       // hosted address behind the egress ToR
+};
+
+/// Output of the planning phase; input to every rule (re)install.
+struct TransformState {
+  std::vector<TunnelPlan> tunnels;
+  int nat_rules_per_wan = 0;
+  std::vector<net::DeviceId> wans;
+
+  [[nodiscard]] bool empty() const { return tunnels.empty() && nat_rules_per_wan == 0; }
+};
+
+/// Phase 1 (pre-FIB): plan tunnels and register endpoints for origination.
+/// Requires at least two ToRs when params.tunnels > 0.
+TransformState plan_transforms(RegionalNetwork& region, const TransformParams& params);
+
+/// Phase 2 (post-FIB): install the transform rules into the current tables.
+/// Skips failed devices and filters ECMP groups through `routing`'s failure
+/// sets, so re-running it per scenario yields rehashed groups.
+void install_transform_rules(net::Network& network, const TransformState& state,
+                             const routing::RoutingConfig& routing);
+
+}  // namespace yardstick::topo

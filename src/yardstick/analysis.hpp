@@ -68,6 +68,13 @@ class SuiteAnalyzer {
   /// Runs every test of `suite` in isolation (each gets its own trace)
   /// and computes contributions against fractional rule coverage.
   /// Cost: O(n) test runs + O(n^2) covered-set computations.
+  ///
+  /// Each evaluation builds fresh match/covered sets directly — serial,
+  /// and deliberately outside the incremental cache (DESIGN.md §11):
+  /// every leave-one-out trace has a distinct content key, so caching
+  /// them would churn the artifact without ever producing a warm hit.
+  /// `EngineOptions` (threads, cache_dir) therefore does not apply here;
+  /// only the constructor's ResourceBudget bounds the work.
   [[nodiscard]] SuiteAnalysis analyze(const dataplane::Transfer& transfer,
                                       const nettest::TestSuite& suite,
                                       double epsilon = 1e-12) const;
@@ -95,6 +102,12 @@ struct TestSuggestion {
 /// the rule's exercisable space — its disjoint match set clipped by the
 /// device's ACL-permitted space. Rules whose exercisable space is empty
 /// (reachable only via state inspection) are skipped.
+///
+/// Reads the engine's already-built match sets, so it composes with the
+/// full option set the engine was constructed with: under `--cache-dir`
+/// the sets may be cache-prefilled, and that is invisible here — the
+/// §11 bit-identity contract makes a prefilled set node-for-node equal
+/// to a recomputed one, so the sampled probes are identical either way.
 [[nodiscard]] std::vector<TestSuggestion> suggest_tests(
     const CoverageEngine& engine, size_t max_suggestions = 16,
     const DeviceFilter& filter = nullptr);

@@ -1,0 +1,348 @@
+// Coverage-under-failure tests (DESIGN.md §13): ScenarioSpec parsing and
+// resolution, deterministic random scenario generation, the transforming-rule
+// overlay (tunnel encap/decap round trip, ECMP rehash under link failure,
+// tunnel rules counted by the coverage engine), and the ScenarioRunner's
+// baseline-vs-scenario diff — bit-identical across thread counts.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "dataplane/simulator.hpp"
+#include "nettest/transform_checks.hpp"
+#include "routing/fib_builder.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "topo/regional.hpp"
+#include "topo/transforms.hpp"
+#include "yardstick/engine.hpp"
+
+namespace yardstick {
+namespace {
+
+using scenario::ScenarioSpec;
+
+/// Small one-pod regional network with two tunnels (tor0 <-> tor1) and one
+/// NAT rule per WAN. Tunnel 0: ingress tors[0] -> egress tors[1]; tunnel 1
+/// runs the other way (round-robin ingress, offset egress).
+class ScenarioTest : public ::testing::Test {
+ protected:
+  static topo::RegionalParams small_params() {
+    topo::RegionalParams p;
+    p.datacenters = 1;
+    p.pods_per_dc = 1;
+    p.tors_per_pod = 2;
+    p.aggs_per_pod = 2;
+    p.spines_per_dc = 2;
+    p.hubs = 2;
+    p.wans = 1;
+    p.host_ports_per_tor = 2;
+    p.wide_area_prefix_count = 4;
+    p.hubs_without_default = 0;
+    return p;
+  }
+
+  ScenarioTest() : region_(topo::make_regional(small_params())) {
+    state_ = topo::plan_transforms(region_, {.tunnels = 2, .nat_rules_per_wan = 1});
+    rebuild();
+  }
+
+  /// Recompute FIBs for the current failure sets and re-apply the overlay —
+  /// the same post-FIB sequence the runner performs per scenario.
+  void rebuild() {
+    routing::FibBuilder::compute_and_build(region_.network, region_.routing);
+    topo::install_transform_rules(region_.network, state_, region_.routing);
+  }
+
+  [[nodiscard]] nettest::TestSuite transform_suite() const {
+    nettest::TestSuite suite("transforms");
+    suite.add(std::make_unique<nettest::TunnelRoundTripCheck>());
+    suite.add(std::make_unique<nettest::NatTranslationCheck>());
+    return suite;
+  }
+
+  [[nodiscard]] const std::string& name(net::DeviceId id) const {
+    return region_.network.device(id).name;
+  }
+
+  /// The encap rule a tunnel plan installed on its ingress ToR.
+  [[nodiscard]] const net::Rule* encap_rule(const topo::TunnelPlan& plan) const {
+    for (const net::RuleId rid : region_.network.table(plan.ingress)) {
+      const net::Rule& rule = region_.network.rule(rid);
+      if (rule.kind == net::RouteKind::Tunnel && rule.match.dst_prefix == plan.vip) {
+        return &rule;
+      }
+    }
+    return nullptr;
+  }
+
+  topo::RegionalNetwork region_;
+  topo::TransformState state_;
+};
+
+TEST_F(ScenarioTest, SpecParsesAndRoundTrips) {
+  const std::string text =
+      "# hand-picked sweep\n"
+      "scenario spine-loss\n"
+      "device dc0-spine-0\n"
+      "\n"
+      "scenario tor-uplink\n"
+      "link dc0-pod0-tor-0 dc0-pod0-agg-0\n"
+      "link dc0-pod0-tor-0 dc0-pod0-agg-1\n";
+  const ScenarioSpec spec = ScenarioSpec::parse(text);
+  ASSERT_EQ(spec.scenarios.size(), 2u);
+  EXPECT_EQ(spec.scenarios[0].name, "spine-loss");
+  ASSERT_EQ(spec.scenarios[0].down_devices.size(), 1u);
+  EXPECT_EQ(spec.scenarios[0].down_devices[0], "dc0-spine-0");
+  EXPECT_TRUE(spec.scenarios[0].down_links.empty());
+  EXPECT_EQ(spec.scenarios[1].name, "tor-uplink");
+  ASSERT_EQ(spec.scenarios[1].down_links.size(), 2u);
+  EXPECT_EQ(spec.scenarios[1].down_links[1].second, "dc0-pod0-agg-1");
+  // to_text() round-trips through parse().
+  EXPECT_EQ(ScenarioSpec::parse(spec.to_text()).to_text(), spec.to_text());
+}
+
+TEST_F(ScenarioTest, SpecRejectsMalformedInput) {
+  EXPECT_THROW((void)ScenarioSpec::parse(""), ys::InvalidInputError);
+  EXPECT_THROW((void)ScenarioSpec::parse("# only comments\n"), ys::InvalidInputError);
+  // Directive before any scenario.
+  EXPECT_THROW((void)ScenarioSpec::parse("device d0\n"), ys::InvalidInputError);
+  // Duplicate scenario name.
+  EXPECT_THROW((void)ScenarioSpec::parse("scenario a\ndevice d\nscenario a\ndevice d\n"),
+               ys::InvalidInputError);
+  // A scenario must fail something.
+  EXPECT_THROW((void)ScenarioSpec::parse("scenario empty\n"), ys::InvalidInputError);
+  // Arity errors and unknown directives.
+  EXPECT_THROW((void)ScenarioSpec::parse("scenario a\nlink only-one\n"),
+               ys::InvalidInputError);
+  EXPECT_THROW((void)ScenarioSpec::parse("scenario a\nfrobnicate d\n"),
+               ys::InvalidInputError);
+  EXPECT_THROW((void)ScenarioSpec::load("/nonexistent/sweep.spec"), ys::IoError);
+}
+
+TEST_F(ScenarioTest, ResolveMapsNamesAndRejectsUnknowns) {
+  scenario::Scenario ok;
+  ok.name = "ok";
+  ok.down_devices.push_back(name(region_.spines[0]));
+  ok.down_links.emplace_back(name(region_.tors[0]), name(region_.aggs[0]));
+  const scenario::ResolvedScenario resolved = scenario::resolve(ok, region_.network);
+  EXPECT_EQ(resolved.devices.size(), 1u);
+  EXPECT_EQ(resolved.links.size(), 1u);
+  EXPECT_TRUE(resolved.devices.contains(region_.spines[0]));
+
+  scenario::Scenario bad_device;
+  bad_device.name = "bad";
+  bad_device.down_devices.push_back("no-such-router");
+  EXPECT_THROW((void)scenario::resolve(bad_device, region_.network),
+               ys::InvalidInputError);
+
+  // Two real devices with no connecting link (ToR and WAN are tiers apart).
+  scenario::Scenario bad_link;
+  bad_link.name = "bad";
+  bad_link.down_links.emplace_back(name(region_.tors[0]), name(region_.wans[0]));
+  EXPECT_THROW((void)scenario::resolve(bad_link, region_.network),
+               ys::InvalidInputError);
+}
+
+TEST_F(ScenarioTest, RandomLinkScenariosAreSeedDeterministic) {
+  const ScenarioSpec a = scenario::random_link_scenarios(region_.network, 3, 42, 2);
+  const ScenarioSpec b = scenario::random_link_scenarios(region_.network, 3, 42, 2);
+  EXPECT_EQ(a.to_text(), b.to_text());
+  ASSERT_EQ(a.scenarios.size(), 3u);
+  for (const scenario::Scenario& s : a.scenarios) {
+    ASSERT_EQ(s.down_links.size(), 2u);
+    // Links within a scenario are distinct, and every name resolves.
+    const scenario::ResolvedScenario r = scenario::resolve(s, region_.network);
+    EXPECT_EQ(r.links.size(), 2u);
+  }
+  const ScenarioSpec c = scenario::random_link_scenarios(region_.network, 3, 43, 2);
+  EXPECT_NE(a.to_text(), c.to_text());
+  EXPECT_THROW((void)scenario::random_link_scenarios(region_.network, 0, 1),
+               ys::InvalidInputError);
+}
+
+TEST_F(ScenarioTest, TunnelEncapDecapRoundTripsConcretely) {
+  ASSERT_EQ(state_.tunnels.size(), 2u);
+  const topo::TunnelPlan& plan = state_.tunnels[0];
+  EXPECT_EQ(plan.ingress, region_.tors[0]);
+  EXPECT_EQ(plan.egress, region_.tors[1]);
+
+  bdd::BddManager mgr(packet::kNumHeaderBits);
+  const dataplane::MatchSetIndex index(mgr, region_.network);
+  const dataplane::Transfer transfer(index);
+  const dataplane::ConcreteSimulator sim(transfer);
+
+  packet::ConcretePacket pkt;
+  pkt.dst_ip = plan.vip.address();
+  const dataplane::ConcreteTrace trace =
+      sim.run(plan.ingress, net::InterfaceId{}, pkt);
+  ASSERT_EQ(trace.disposition, dataplane::Disposition::Delivered);
+  // Decap restored the inner destination and delivered behind the egress.
+  EXPECT_EQ(trace.final_packet.dst_ip, plan.inner_dst);
+  EXPECT_EQ(region_.network.interface(trace.egress).device, plan.egress);
+  // The encapped leg actually crossed the fabric.
+  ASSERT_GE(trace.hops.size(), 3u);
+  EXPECT_EQ(trace.hops.front().device, plan.ingress);
+  EXPECT_EQ(trace.hops.back().device, plan.egress);
+}
+
+TEST_F(ScenarioTest, TransformChecksPassAndEngineCountsTunnelRules) {
+  bdd::BddManager mgr(packet::kNumHeaderBits);
+  const dataplane::MatchSetIndex index(mgr, region_.network);
+  const dataplane::Transfer transfer(index);
+  ys::CoverageTracker tracker;
+  for (const nettest::TestResult& r : transform_suite().run_all(transfer, tracker)) {
+    EXPECT_TRUE(r.passed()) << r.name << ": "
+                            << (r.failure_messages.empty() ? ""
+                                                           : r.failure_messages[0]);
+    EXPECT_GT(r.checks, 0u) << r.name;
+  }
+
+  // Every tunnel and NAT rule the overlay installed is covered: the checks
+  // flood exactly the headers those rules match.
+  const ys::CoverageEngine engine(mgr, region_.network, tracker.trace());
+  size_t transform_rules = 0;
+  for (const net::Rule& rule : region_.network.rules()) {
+    if (rule.kind != net::RouteKind::Tunnel && rule.kind != net::RouteKind::Nat) {
+      continue;
+    }
+    ++transform_rules;
+    EXPECT_GT(engine.rule_coverage(rule.id), 0.0)
+        << to_string(rule.kind) << " rule on " << name(rule.device) << " untested";
+    EXPECT_GT(engine.covered_sets().covered_size(rule.id), bdd::Uint128{0});
+  }
+  // 2 tunnels x (encap + decap) + 1 NAT rule on the single WAN.
+  EXPECT_EQ(transform_rules, 5u);
+}
+
+TEST_F(ScenarioTest, EncapEcmpGroupRehashesUnderLinkFailure) {
+  const topo::TunnelPlan& plan = state_.tunnels[0];
+  const net::Rule* encap = encap_rule(plan);
+  ASSERT_NE(encap, nullptr);
+  ASSERT_EQ(encap->action.out_interfaces.size(), 2u);  // both agg uplinks
+
+  // Fail one ingress uplink: the group rehashes to the survivor.
+  scenario::Scenario s;
+  s.name = "uplink";
+  s.down_links.emplace_back(name(plan.ingress), name(region_.aggs[0]));
+  const scenario::ResolvedScenario r = scenario::resolve(s, region_.network);
+  region_.routing.failed_links.insert(r.links.begin(), r.links.end());
+  rebuild();
+  encap = encap_rule(plan);
+  ASSERT_NE(encap, nullptr);
+  ASSERT_EQ(encap->action.out_interfaces.size(), 1u);
+  EXPECT_EQ(region_.network.neighbor(encap->action.out_interfaces[0]),
+            region_.aggs[1]);
+
+  // Fail the second uplink too: the encap blackholes rather than vanishing.
+  s.down_links.emplace_back(name(plan.ingress), name(region_.aggs[1]));
+  const scenario::ResolvedScenario r2 = scenario::resolve(s, region_.network);
+  region_.routing.failed_links.insert(r2.links.begin(), r2.links.end());
+  rebuild();
+  encap = encap_rule(plan);
+  ASSERT_NE(encap, nullptr);
+  EXPECT_EQ(encap->action.type, net::ActionType::Drop);
+}
+
+/// Spec used by the runner tests: a spine failure (sheds that device's
+/// rules), a double link failure isolating tunnel 0's ingress uplinks (the
+/// tunnel check goes dark), and the egress ToR failing outright (its decap
+/// rule — covered at baseline — is lost, so ATUs become unreachable).
+std::string runner_spec_text(const topo::RegionalNetwork& region) {
+  const auto& n = region.network;
+  std::string text;
+  text += "scenario spine-loss\ndevice " + n.device(region.spines[0]).name + "\n\n";
+  text += "scenario tor-uplink\n";
+  text += "link " + n.device(region.tors[0]).name + " " +
+          n.device(region.aggs[0]).name + "\n";
+  text += "link " + n.device(region.tors[0]).name + " " +
+          n.device(region.aggs[1]).name + "\n\n";
+  text += "scenario egress-down\ndevice " + n.device(region.tors[1]).name + "\n";
+  return text;
+}
+
+TEST_F(ScenarioTest, RunnerDiffsBaselineAgainstScenarios) {
+  const ScenarioSpec spec = ScenarioSpec::parse(runner_spec_text(region_));
+  const nettest::TestSuite suite = transform_suite();
+  scenario::ScenarioRunner runner(region_.network, region_.routing, suite);
+  runner.set_post_fib_hook([this](net::Network& network,
+                                  const routing::RoutingConfig& routing) {
+    topo::install_transform_rules(network, state_, routing);
+  });
+  const scenario::ScenarioReport report = runner.run(spec);
+
+  EXPECT_TRUE(report.baseline_failing_tests.empty());
+  EXPECT_GT(report.baseline_rule_count, 0u);
+  ASSERT_EQ(report.scenarios.size(), 3u);
+
+  const scenario::ScenarioDiff& spine = report.scenarios[0];
+  EXPECT_EQ(spine.name, "spine-loss");
+  EXPECT_GT(spine.rules_lost, 0u);  // the failed spine's FIB empties
+
+  const scenario::ScenarioDiff& uplink = report.scenarios[1];
+  EXPECT_EQ(uplink.name, "tor-uplink");
+  // With both ingress uplinks down the tunnel blackholes: the round-trip
+  // check passed at baseline and fails now — a dark test.
+  ASSERT_EQ(uplink.dark_tests.size(), 1u);
+  EXPECT_EQ(uplink.dark_tests[0], "tunnel-round-trip");
+
+  const scenario::ScenarioDiff& egress = report.scenarios[2];
+  EXPECT_EQ(egress.name, "egress-down");
+  EXPECT_GT(egress.rules_lost, 0u);
+  // The lost decap rule carried baseline test evidence.
+  EXPECT_GT(egress.unreachable_atus, bdd::Uint128{0});
+  EXPECT_FALSE(egress.top_deltas.empty());
+
+  // The runner restored the baseline: a second run reproduces the report
+  // byte for byte (text and JSON).
+  scenario::ScenarioRunner again(region_.network, region_.routing, suite);
+  again.set_post_fib_hook([this](net::Network& network,
+                                 const routing::RoutingConfig& routing) {
+    topo::install_transform_rules(network, state_, routing);
+  });
+  const scenario::ScenarioReport second = again.run(spec);
+  EXPECT_EQ(second.to_text(), report.to_text());
+  EXPECT_EQ(scenario::report_to_json(second), scenario::report_to_json(report));
+}
+
+TEST_F(ScenarioTest, RunnerReportIsBitIdenticalAcrossThreadCounts) {
+  const ScenarioSpec spec = ScenarioSpec::parse(runner_spec_text(region_));
+  const nettest::TestSuite suite = transform_suite();
+
+  std::string baseline_text;
+  std::string baseline_json;
+  for (const unsigned threads : {1u, 4u, 8u}) {
+    scenario::ScenarioRunnerOptions options;
+    options.engine.threads = threads;
+    scenario::ScenarioRunner runner(region_.network, region_.routing, suite, options);
+    runner.set_post_fib_hook([this](net::Network& network,
+                                    const routing::RoutingConfig& routing) {
+      topo::install_transform_rules(network, state_, routing);
+    });
+    const scenario::ScenarioReport report = runner.run(spec);
+    const std::string text = report.to_text();
+    const std::string json = scenario::report_to_json(report);
+    if (threads == 1) {
+      baseline_text = text;
+      baseline_json = json;
+      EXPECT_NE(text.find("scenario"), std::string::npos);
+      EXPECT_NE(json.find("\"unreachable_atus\""), std::string::npos);
+    } else {
+      EXPECT_EQ(text, baseline_text) << "threads=" << threads;
+      EXPECT_EQ(json, baseline_json) << "threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ScenarioTest, RunnerRejectsUnknownNamesBeforeTouchingState) {
+  const size_t rules_before = region_.network.rule_count();
+  const ScenarioSpec spec = ScenarioSpec::parse("scenario bad\ndevice absent-router\n");
+  const nettest::TestSuite suite = transform_suite();
+  scenario::ScenarioRunner runner(region_.network, region_.routing, suite);
+  EXPECT_THROW((void)runner.run(spec), ys::InvalidInputError);
+  EXPECT_EQ(region_.network.rule_count(), rules_before);
+}
+
+}  // namespace
+}  // namespace yardstick

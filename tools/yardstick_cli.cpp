@@ -40,10 +40,14 @@
 #include "nettest/contract_checks.hpp"
 #include "nettest/reachability.hpp"
 #include "nettest/state_checks.hpp"
+#include "nettest/transform_checks.hpp"
 #include "routing/fib_builder.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
 #include "topo/acl.hpp"
 #include "topo/fattree.hpp"
 #include "topo/regional.hpp"
+#include "topo/transforms.hpp"
 #include "service/client.hpp"
 #include "service/daemon.hpp"
 #include "service/signal.hpp"
@@ -117,6 +121,12 @@ struct CliOptions {
   std::string cache_dir;         // incremental result cache; empty = off
   std::optional<std::string> trace_out;    // Chrome trace-event JSON
   std::optional<std::string> metrics_out;  // metrics JSON (+ FILE.prom)
+  int transforms = 0;            // tunnels + NAT rules per WAN (regional only)
+  // Scenario mode (the `scenarios` subcommand):
+  std::string scenario_spec;     // spec file; mutually exclusive with random_links
+  int random_links = 0;          // generate N random link-down scenarios
+  uint64_t scenario_seed = 1;    // PRNG seed for --random-links
+  int links_per_scenario = 1;    // failed links per random scenario
 };
 
 int usage(const char* argv0) {
@@ -147,8 +157,17 @@ int usage(const char* argv0) {
                "  --trace-out FILE     write a Chrome trace-event JSON span timeline\n"
                "                       (open in about:tracing or ui.perfetto.dev)\n"
                "  --metrics-out FILE   write engine metrics as JSON to FILE and\n"
-               "                       Prometheus text exposition to FILE.prom\n",
-               argv0);
+               "                       Prometheus text exposition to FILE.prom\n"
+               "  --transforms N       regional: N tunnels (VIP encap/decap across ToRs)\n"
+               "                       and N NAT rules per WAN, plus their checks\n"
+               "Scenario mode (coverage under failure, DESIGN.md §13):\n"
+               "  %s scenarios <topology> [options] --scenario-spec FILE\n"
+               "  %s scenarios <topology> [options] --random-links N [--seed S]\n"
+               "  --scenario-spec FILE named device/link failure sets (see DESIGN.md)\n"
+               "  --random-links N     N seeded random link-down scenarios instead\n"
+               "  --seed S             PRNG seed for --random-links (default 1)\n"
+               "  --links-per-scenario L  failed links per random scenario (default 1)\n",
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -239,11 +258,84 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     } else if (arg == "--metrics-out") {
       if (i + 1 >= argc) return std::nullopt;
       opts.metrics_out = argv[++i];
+    } else if (arg == "--transforms") {
+      if (!next_int(opts.transforms)) return std::nullopt;
+    } else if (arg == "--scenario-spec") {
+      if (i + 1 >= argc) return std::nullopt;
+      opts.scenario_spec = argv[++i];
+    } else if (arg == "--random-links") {
+      if (!next_int(opts.random_links)) return std::nullopt;
+    } else if (arg == "--seed") {
+      long long v = 0;
+      if (i + 1 >= argc || !parse_range(argv[++i], 0, LLONG_MAX, v)) return std::nullopt;
+      opts.scenario_seed = static_cast<uint64_t>(v);
+    } else if (arg == "--links-per-scenario") {
+      if (!next_int(opts.links_per_scenario)) return std::nullopt;
     } else {
       return std::nullopt;
     }
   }
   return opts;
+}
+
+/// Topology + routing config + optional transform plan, built from the CLI
+/// options. Out-parameter style: the struct holds both the storage and the
+/// interior pointers, so it must not be moved after building.
+struct BuiltTopology {
+  net::Network* network = nullptr;
+  routing::RoutingConfig* routing = nullptr;
+  std::vector<net::DeviceId> tors;
+  topo::FatTree fattree;
+  topo::RegionalNetwork regional;
+  netio::LoadedNetwork from_file;
+  bool state_loaded = false;
+  topo::TransformState transforms;
+};
+
+void build_topology(const CliOptions& opts, BuiltTopology& t) {
+  if (opts.topology == "fattree") {
+    t.fattree = topo::make_fat_tree({.k = opts.k});
+    t.network = &t.fattree.network;
+    t.routing = &t.fattree.routing;
+    t.tors = t.fattree.tors;
+  } else if (opts.topology == "regional") {
+    t.regional = topo::make_regional(opts.regional);
+    t.network = &t.regional.network;
+    t.routing = &t.regional.routing;
+    t.tors = t.regional.tors;
+  } else {
+    t.from_file = netio::load_network_file(opts.network_file);
+    t.network = &t.from_file.network;
+    t.routing = &t.from_file.routing;
+    t.tors = t.network->devices_with_role(net::Role::ToR);
+    t.state_loaded = t.from_file.has_forwarding_state;
+  }
+  if (opts.transforms > 0) {
+    if (opts.topology != "regional") {
+      throw ys::InvalidInputError("--transforms requires the regional topology");
+    }
+    // Must run before FIB computation: tunnel endpoints are BGP-originated.
+    t.transforms = topo::plan_transforms(
+        t.regional, {.tunnels = opts.transforms, .nat_rules_per_wan = opts.transforms});
+  }
+}
+
+/// Post-FIB state (ingress ACLs, transform rules) — everything that
+/// FibBuilder::build wipes and that must be reinstalled per FIB rebuild.
+void install_post_fib_state(const CliOptions& opts, const BuiltTopology& t,
+                            net::Network& network,
+                            const routing::RoutingConfig& routing) {
+  if (opts.with_acl) {
+    std::vector<net::DeviceId> alive;
+    alive.reserve(t.tors.size());
+    for (const net::DeviceId tor : t.tors) {
+      if (!routing.failed_devices.contains(tor)) alive.push_back(tor);
+    }
+    topo::install_ingress_acls(network, alive);
+  }
+  if (!t.transforms.empty()) {
+    topo::install_transform_rules(network, t.transforms, routing);
+  }
 }
 
 nettest::TestSuite build_suite(const CliOptions& opts,
@@ -268,6 +360,10 @@ nettest::TestSuite build_suite(const CliOptions& opts,
   if (opts.with_acl) {
     suite.add(std::make_unique<nettest::AclBlockCheck>());
     suite.add(std::make_unique<nettest::BlockedPortCheck>());
+  }
+  if (opts.transforms > 0) {
+    suite.add(std::make_unique<nettest::TunnelRoundTripCheck>());
+    suite.add(std::make_unique<nettest::NatTranslationCheck>());
   }
   return suite;
 }
@@ -295,33 +391,13 @@ void write_file(const std::string& path, const std::string& content) {
 int run_impl(const CliOptions& opts) {
 
   // Build topology + forwarding state.
-  net::Network* network = nullptr;
-  routing::RoutingConfig* routing = nullptr;
-  std::vector<net::DeviceId> tors;
-  topo::FatTree fattree;
-  topo::RegionalNetwork regional;
-  netio::LoadedNetwork from_file;
-  bool state_loaded = false;
-  if (opts.topology == "fattree") {
-    fattree = topo::make_fat_tree({.k = opts.k});
-    network = &fattree.network;
-    routing = &fattree.routing;
-    tors = fattree.tors;
-  } else if (opts.topology == "regional") {
-    regional = topo::make_regional(opts.regional);
-    network = &regional.network;
-    routing = &regional.routing;
-    tors = regional.tors;
-  } else {
-    from_file = netio::load_network_file(opts.network_file);
-    network = &from_file.network;
-    routing = &from_file.routing;
-    tors = network->devices_with_role(net::Role::ToR);
-    state_loaded = from_file.has_forwarding_state;
-  }
-  if (!state_loaded) {
+  BuiltTopology built;
+  build_topology(opts, built);
+  net::Network* network = built.network;
+  routing::RoutingConfig* routing = built.routing;
+  if (!built.state_loaded) {
     routing::FibBuilder::compute_and_build(*network, *routing);
-    if (opts.with_acl) topo::install_ingress_acls(*network, tors);
+    install_post_fib_state(opts, built, *network, *routing);
   }
   if (!opts.json) std::printf("%s\n", network->summary().c_str());
 
@@ -464,6 +540,65 @@ int run(const CliOptions& opts) {
     }
   }
   return code;
+}
+
+// --- scenario mode -------------------------------------------------------
+
+/// `yardstick scenarios <topology> [...] --scenario-spec FILE | --random-links N`
+///
+/// Reuses the main option grammar (argv[0] is skipped by parse()); the
+/// forwarding state is always recomputed per scenario, so hand-authored
+/// state in `file` topologies is replaced by the BGP substrate's output.
+int run_scenarios(int argc, char** argv) {
+  const std::optional<CliOptions> parsed = parse(argc - 1, argv + 1);
+  if (!parsed) return usage(argv[0]);
+  const CliOptions& opts = *parsed;
+  const bool have_spec = !opts.scenario_spec.empty();
+  if (have_spec == (opts.random_links > 0)) {
+    std::fprintf(stderr,
+                 "error: scenarios needs exactly one of --scenario-spec / --random-links\n");
+    return usage(argv[0]);
+  }
+
+  BuiltTopology built;
+  build_topology(opts, built);
+  if (!opts.json) std::printf("%s\n", built.network->summary().c_str());
+
+  const scenario::ScenarioSpec spec =
+      have_spec ? scenario::ScenarioSpec::load(opts.scenario_spec)
+                : scenario::random_link_scenarios(*built.network, opts.random_links,
+                                                  opts.scenario_seed,
+                                                  opts.links_per_scenario);
+
+  ys::ResourceBudget budget;
+  if (opts.deadline_s > 0.0) budget.with_deadline(opts.deadline_s);
+  if (opts.max_bdd_nodes > 0) budget.with_max_bdd_nodes(opts.max_bdd_nodes);
+  const bool budgeted = opts.deadline_s > 0.0 || opts.max_bdd_nodes > 0;
+
+  scenario::ScenarioRunnerOptions ropts;
+  ropts.engine = ys::EngineOptions{budgeted ? &budget : nullptr, opts.threads,
+                                   opts.cache_dir, opts.gc_threshold};
+
+  const std::unordered_set<net::DeviceId> excluded(
+      built.routing->no_default_devices.begin(), built.routing->no_default_devices.end());
+  const nettest::TestSuite suite = build_suite(opts, excluded);
+
+  scenario::ScenarioRunner runner(*built.network, *built.routing, suite, ropts);
+  runner.set_post_fib_hook(
+      [&opts, &built](net::Network& network, const routing::RoutingConfig& routing) {
+        install_post_fib_state(opts, built, network, routing);
+      });
+  const scenario::ScenarioReport report = runner.run(spec);
+
+  if (report.truncated) {
+    std::fprintf(stderr, "warning: budget exhausted; scenario results are partial\n");
+  }
+  if (opts.json) {
+    std::printf("%s\n", scenario::report_to_json(report).c_str());
+  } else {
+    std::printf("%s", report.to_text().c_str());
+  }
+  return 0;
 }
 
 // --- daemon-mode subcommands --------------------------------------------
@@ -825,6 +960,7 @@ int main(int argc, char** argv) {
       if (cmd == "serve") return run_serve(argc, argv);
       if (cmd == "ingest") return run_ingest(argc, argv);
       if (cmd == "ingest-replay") return run_ingest_replay(argc, argv);
+      if (cmd == "scenarios") return run_scenarios(argc, argv);
     } catch (const ys::StatusError& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return exit_code_for(e.code());
