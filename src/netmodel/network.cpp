@@ -141,4 +141,18 @@ std::string Network::summary() const {
   return out.str();
 }
 
+std::string rule_content_key(const Network& network, RuleId id) {
+  const Rule& rule = network.rule(id);
+  std::string key = network.device(rule.device).name;
+  key += '|';
+  key += to_string(rule.table);
+  key += '|';
+  key += std::to_string(rule.priority);
+  key += '|';
+  key += rule.match.to_string();
+  key += '|';
+  key += to_string(rule.kind);
+  return key;
+}
+
 }  // namespace yardstick::net

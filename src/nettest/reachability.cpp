@@ -25,6 +25,7 @@ TestResult ToRReachability::run(const dataplane::Transfer& transfer,
   }
 
   for (size_t src = 0; src < tors.size(); ++src) {
+    if (!shard_.contains(src)) continue;
     // All packets originating at this ToR destined to any other ToR.
     PacketSet headers = PacketSet::none(mgr);
     for (size_t dst = 0; dst < tors.size(); ++dst) {
@@ -68,7 +69,9 @@ TestResult ToRPingmesh::run(const dataplane::Transfer& transfer,
 
   const std::vector<net::DeviceId> tors = network.devices_with_role(net::Role::ToR);
 
-  for (const net::DeviceId src : tors) {
+  for (size_t src_index = 0; src_index < tors.size(); ++src_index) {
+    if (!shard_.contains(src_index)) continue;
+    const net::DeviceId src = tors[src_index];
     const std::vector<net::InterfaceId> src_ports =
         network.ports_of_kind(src, net::PortKind::HostPort);
     const net::InterfaceId ingress = src_ports.empty() ? net::InterfaceId{} : src_ports[0];

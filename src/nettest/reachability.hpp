@@ -22,6 +22,26 @@
 
 namespace yardstick::nettest {
 
+/// Source-ToR sharding for the end-to-end suites: shard `s` of `n` checks
+/// only the sources with index ≡ s (mod n). Production pingmesh suites are
+/// sliced exactly this way so runs parallelize and a failure localizes to a
+/// slice; the union of all n shards checks (and covers) the same pairs as
+/// the unsharded test.
+struct TestShard {
+  size_t shard = 0;
+  size_t of = 1;
+
+  [[nodiscard]] bool contains(size_t source_index) const {
+    return source_index % of == shard;
+  }
+  /// "" for the trivial shard, "[s/n]" otherwise — keeps sharded test
+  /// names distinct (suite analysis and minimization key rows by name).
+  [[nodiscard]] std::string suffix() const {
+    if (of <= 1) return "";
+    return "[" + std::to_string(shard) + "/" + std::to_string(of) + "]";
+  }
+};
+
 class ToRReachability final : public NetworkTest {
  public:
   ToRReachability() = default;
@@ -33,7 +53,12 @@ class ToRReachability final : public NetworkTest {
   explicit ToRReachability(packet::PacketSet policy_exempt)
       : policy_exempt_(std::move(policy_exempt)) {}
 
-  [[nodiscard]] std::string name() const override { return "ToRReachability"; }
+  /// Shard-sliced variant: only sources in `shard` are flooded.
+  explicit ToRReachability(TestShard shard) : shard_(shard) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "ToRReachability" + shard_.suffix();
+  }
   [[nodiscard]] TestCategory category() const override {
     return TestCategory::EndToEndSymbolic;
   }
@@ -42,16 +67,26 @@ class ToRReachability final : public NetworkTest {
 
  private:
   packet::PacketSet policy_exempt_;  // invalid handle = nothing exempt
+  TestShard shard_;
 };
 
 class ToRPingmesh final : public NetworkTest {
  public:
-  [[nodiscard]] std::string name() const override { return "ToRPingmesh"; }
+  ToRPingmesh() = default;
+  /// Shard-sliced variant: only sources in `shard` send probes.
+  explicit ToRPingmesh(TestShard shard) : shard_(shard) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "ToRPingmesh" + shard_.suffix();
+  }
   [[nodiscard]] TestCategory category() const override {
     return TestCategory::EndToEndConcrete;
   }
   [[nodiscard]] TestResult run(const dataplane::Transfer& transfer,
                                ys::CoverageTracker& tracker) const override;
+
+ private:
+  TestShard shard_;
 };
 
 /// One symbolic end-to-end query: inject `headers` at a source location

@@ -89,15 +89,7 @@ ScenarioRunner::Evaluation ScenarioRunner::evaluate(const routing::RoutingConfig
     for (const net::TableKind table : {net::TableKind::Acl, net::TableKind::Fib}) {
       for (const net::RuleId rid : network_.table(dev.id, table)) {
         const net::Rule& rule = network_.rule(rid);
-        std::string key = dev.name;
-        key += '|';
-        key += net::to_string(table);
-        key += '|';
-        key += std::to_string(rule.priority);
-        key += '|';
-        key += rule.match.to_string();
-        key += '|';
-        key += net::to_string(rule.kind);
+        const std::string key = net::rule_content_key(network_, rid);
         // Identical rules (same device/table/priority/match/kind) get a
         // positional suffix; table iteration order makes this stable.
         std::string unique = key;

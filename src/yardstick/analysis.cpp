@@ -1,9 +1,12 @@
 #include "yardstick/analysis.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
 
-#include "coverage/components.hpp"
 #include "coverage/covered_sets.hpp"
 #include "dataplane/match_sets.hpp"
 #include "obs/trace.hpp"
@@ -11,19 +14,146 @@
 
 namespace yardstick::ys {
 
-double SuiteAnalyzer::rule_coverage_of(const coverage::CoverageTrace& trace,
-                                       bool* truncated) const {
-  // A fresh index per evaluation keeps the analyzer self-contained; the
-  // BDD manager's caches make repeated construction cheap.
-  const dataplane::MatchSetIndex index(mgr_, network_, budget_);
-  const dataplane::Transfer transfer(index);
-  const coverage::CoveredSets covered(index, trace, budget_);
-  if (truncated != nullptr && (index.truncated() || covered.truncated())) {
-    *truncated = true;
+namespace {
+
+/// One isolated test evaluation against `index`: timed run, covered-set
+/// build, reduction to a boolean row. Shared by the serial and the
+/// per-worker parallel paths — the row only records set emptiness, so it
+/// is identical whichever manager `index` lives in. Returns true when the
+/// covered-set build was budget-truncated (the caller owns m.truncated;
+/// workers write only their own i-th slots of seconds/covers).
+[[nodiscard]] bool evaluate_test(const dataplane::MatchSetIndex& index,
+                                 const dataplane::Transfer& transfer,
+                                 const nettest::NetworkTest& test,
+                                 const ResourceBudget* budget, unsigned build_threads,
+                                 SuiteCoverageMatrix& m, size_t i) {
+  CoverageTracker tracker;
+  // Time the isolated run only: trace bookkeeping and the covered-set
+  // build below are analysis overhead, not test cost.
+  const auto test_start = ResourceBudget::Clock::now();
+  (void)test.run(transfer, tracker);
+  m.seconds[i] =
+      std::chrono::duration<double>(ResourceBudget::Clock::now() - test_start).count();
+  const coverage::CoveredSets covered(index, tracker.trace(), budget, build_threads);
+  std::vector<char> row(m.rule_count, 0);
+  for (size_t r = 0; r < m.rule_count; ++r) {
+    if (m.vacuous[r]) continue;
+    // Covered sets are subsets of the disjoint match sets, so
+    // non-emptiness is exactly the fraction measure's |T ∩ M| > 0.
+    if (!covered.covered(net::RuleId{static_cast<uint32_t>(r)}).empty()) {
+      row[r] = 1;
+    }
   }
-  const coverage::ComponentFactory factory(transfer);
-  return coverage::collection_coverage(covered, factory.all_rules(),
-                                       coverage::fractional_aggregator());
+  m.covers[i] = std::move(row);
+  return covered.truncated();
+}
+
+}  // namespace
+
+size_t SuiteCoverageMatrix::covered_by(size_t i) const {
+  const std::vector<char>& row = covers[i];
+  size_t count = 0;
+  for (const char c : row) count += (c != 0);
+  return count;
+}
+
+SuiteCoverageMatrix build_suite_matrix(const dataplane::Transfer& transfer,
+                                       const nettest::TestSuite& suite,
+                                       const ResourceBudget* budget,
+                                       unsigned threads) {
+  const size_t n = suite.size();
+  obs::Span span("analysis.suite_matrix", "analysis");
+  span.arg("tests", n);
+  span.arg("threads", threads);
+
+  const dataplane::MatchSetIndex& index = transfer.index();
+  const net::Network& network = index.network();
+
+  SuiteCoverageMatrix m;
+  m.rule_count = network.rule_count();
+  m.truncated = index.truncated();
+  m.names.resize(n);
+  m.seconds.resize(n, 0.0);
+  m.covers.resize(n);
+  m.vacuous.assign(m.rule_count, 0);
+  for (size_t r = 0; r < m.rule_count; ++r) {
+    if (index.match_set(net::RuleId{static_cast<uint32_t>(r)}).empty()) {
+      m.vacuous[r] = 1;
+      ++m.vacuous_count;
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) m.names[i] = suite.test(i).name();
+
+  const unsigned resolved =
+      threads == 0 ? std::max(1u, std::thread::hardware_concurrency()) : threads;
+  const size_t workers = std::min<size_t>(resolved, n);
+  if (workers <= 1) {
+    try {
+      for (size_t i = 0; i < n; ++i) {
+        if (evaluate_test(index, transfer, suite.test(i), budget, threads, m, i)) {
+          m.truncated = true;
+        }
+      }
+    } catch (const StatusError& e) {
+      // A budget tripping outside the degradable covered-set builds (e.g.
+      // while running a test) leaves the rows computed so far; never-built
+      // rows stay all-zero (coverage under-reported, flagged truncated).
+      if (!is_resource_exhaustion(e.code())) throw;
+      m.truncated = true;
+    }
+  } else {
+    // Whole-test sharding: each worker owns a private manager, match-set
+    // index and transfer, and pulls tests off a shared counter. Rows are
+    // emptiness facts about canonical sets, so they do not depend on which
+    // worker (or manager) computed them — the serial and parallel paths
+    // agree bit for bit.
+    std::atomic<size_t> next{0};
+    std::atomic<bool> truncated{false};
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+    auto work = [&] {
+      try {
+        bdd::BddManager worker_mgr(packet::kNumHeaderBits);
+        const dataplane::MatchSetIndex worker_index(worker_mgr, network, budget);
+        const dataplane::Transfer worker_transfer(worker_index);
+        if (worker_index.truncated()) truncated.store(true, std::memory_order_relaxed);
+        for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+          try {
+            if (evaluate_test(worker_index, worker_transfer, suite.test(i), budget, 1,
+                              m, i)) {
+              truncated.store(true, std::memory_order_relaxed);
+            }
+          } catch (const StatusError& e) {
+            if (!is_resource_exhaustion(e.code())) throw;
+            truncated.store(true, std::memory_order_relaxed);
+          }
+        }
+      } catch (const StatusError& e) {
+        if (is_resource_exhaustion(e.code())) {
+          truncated.store(true, std::memory_order_relaxed);
+        } else {
+          const std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      } catch (...) {
+        // First non-budget failure wins; remaining tests of this worker
+        // are abandoned (their rows backfill to zero below).
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (std::thread& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+    if (truncated.load(std::memory_order_relaxed)) m.truncated = true;
+  }
+  for (std::vector<char>& row : m.covers) {
+    if (row.empty()) row.assign(m.rule_count, 0);
+  }
+  return m;
 }
 
 SuiteAnalysis SuiteAnalyzer::analyze(const dataplane::Transfer& transfer,
@@ -32,75 +162,75 @@ SuiteAnalysis SuiteAnalyzer::analyze(const dataplane::Transfer& transfer,
   const size_t n = suite.size();
   obs::Span span("analysis.analyze", "analysis");
   span.arg("tests", n);
+  span.arg("threads", threads_);
   const auto analyze_start = ResourceBudget::Clock::now();
   SuiteAnalysis analysis;
+
+  const SuiteCoverageMatrix m = build_suite_matrix(transfer, suite, budget_, threads_);
+  analysis.truncated = m.truncated;
   analysis.tests.resize(n);
 
-  try {
-    // Run each test in isolation.
-    std::vector<coverage::CoverageTrace> traces(n);
-    for (size_t i = 0; i < n; ++i) {
-      const auto test_start = ResourceBudget::Clock::now();
-      CoverageTracker tracker;
-      (void)suite.test(i).run(transfer, tracker);
-      traces[i] = tracker.trace();
-      analysis.tests[i].name = suite.test(i).name();
-      analysis.tests[i].seconds = std::chrono::duration<double>(
-                                      ResourceBudget::Clock::now() - test_start)
-                                      .count();
-      analysis.tests[i].solo = rule_coverage_of(traces[i], &analysis.truncated);
-    }
-
-    // Full-suite coverage and leave-one-out marginals.
-    const auto merged = [&](const std::vector<bool>& include) {
-      coverage::CoverageTrace acc;
-      for (size_t i = 0; i < n; ++i) {
-        if (include[i]) acc.merge(traces[i]);
-      }
-      return acc;
-    };
-    std::vector<bool> all(n, true);
-    analysis.full = rule_coverage_of(merged(all), &analysis.truncated);
-    for (size_t i = 0; i < n; ++i) {
-      std::vector<bool> without = all;
-      without[i] = false;
-      const double rest = rule_coverage_of(merged(without), &analysis.truncated);
-      // Clamp at 0: under a tripped budget the leave-one-out run can cover
-      // *more* than the degraded full-suite run, and a negative "value of
-      // this test" is meaningless.
-      analysis.tests[i].marginal = std::max(0.0, analysis.full - rest);
-      analysis.tests[i].redundant = analysis.tests[i].marginal <= epsilon;
-    }
-
-    // Greedy maximum-marginal ordering.
-    std::vector<bool> selected(n, false);
-    coverage::CoverageTrace running;
-    double current = rule_coverage_of(running, &analysis.truncated);
-    for (size_t step = 0; step < n; ++step) {
-      double best_gain = -1.0;
-      size_t best = 0;
-      for (size_t i = 0; i < n; ++i) {
-        if (selected[i]) continue;
-        coverage::CoverageTrace candidate = running;
-        candidate.merge(traces[i]);
-        const double gain = rule_coverage_of(candidate, &analysis.truncated) - current;
-        if (gain > best_gain) {
-          best_gain = gain;
-          best = i;
-        }
-      }
-      selected[best] = true;
-      running.merge(traces[best]);
-      current += best_gain;
-      analysis.greedy_order.push_back(best);
-      analysis.greedy_cumulative.push_back(current);
-    }
-  } catch (const StatusError& e) {
-    // A budget tripping outside the degradable coverage computations (e.g.
-    // while running a test) leaves the contributions computed so far.
-    if (!is_resource_exhaustion(e.code())) throw;
-    analysis.truncated = true;
+  // Per-rule cover multiplicity across the whole suite: leave-one-out
+  // coverage for test i drops rule r exactly when cover_count[r] == 1 and
+  // covers[i][r] is set.
+  std::vector<uint32_t> cover_count(m.rule_count, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t r = 0; r < m.rule_count; ++r) cover_count[r] += (m.covers[i][r] != 0);
   }
+  size_t full_covered = 0;
+  for (size_t r = 0; r < m.rule_count; ++r) full_covered += (cover_count[r] > 0);
+  analysis.full = m.coverage_of(full_covered);
+
+  for (size_t i = 0; i < n; ++i) {
+    analysis.tests[i].name = m.names[i];
+    analysis.tests[i].seconds = m.seconds[i];
+    analysis.tests[i].solo = m.coverage_of(m.covered_by(i));
+    size_t sole = 0;  // rules only test i covers
+    for (size_t r = 0; r < m.rule_count; ++r) {
+      sole += (m.covers[i][r] != 0 && cover_count[r] == 1);
+    }
+    const double rest = m.coverage_of(full_covered - sole);
+    // Clamp at 0: under a tripped budget the leave-one-out run can cover
+    // *more* than the degraded full-suite run, and a negative "value of
+    // this test" is meaningless.
+    analysis.tests[i].marginal = std::max(0.0, analysis.full - rest);
+    analysis.tests[i].redundant = analysis.tests[i].marginal <= epsilon;
+  }
+
+  // Greedy maximum-marginal ordering (first index wins ties, matching the
+  // pre-matrix implementation; the optimizer's by-name tie-break lives in
+  // optimize.cpp).
+  std::vector<bool> selected(n, false);
+  std::vector<char> running(m.rule_count, 0);
+  size_t running_covered = 0;
+  double current = m.coverage_of(0);
+  for (size_t step = 0; step < n; ++step) {
+    double best_gain = -1.0;
+    size_t best = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (selected[i]) continue;
+      size_t added = 0;
+      for (size_t r = 0; r < m.rule_count; ++r) {
+        added += (m.covers[i][r] != 0 && running[r] == 0);
+      }
+      const double gain = m.coverage_of(running_covered + added) - current;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    selected[best] = true;
+    for (size_t r = 0; r < m.rule_count; ++r) {
+      if (m.covers[best][r] != 0 && running[r] == 0) {
+        running[r] = 1;
+        ++running_covered;
+      }
+    }
+    current += best_gain;
+    analysis.greedy_order.push_back(best);
+    analysis.greedy_cumulative.push_back(current);
+  }
+
   analysis.analyze_seconds =
       std::chrono::duration<double>(ResourceBudget::Clock::now() - analyze_start).count();
   return analysis;

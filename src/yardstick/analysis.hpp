@@ -5,6 +5,12 @@
 // development of redundant tests that do little to find additional
 // errors". This module operationalizes that:
 //
+//   * SuiteCoverageMatrix — the shared substrate: which rules each test
+//     exercises when run in isolation, and what each run costs. Fractional
+//     rule coverage of *any* subset of the suite is a pure function of this
+//     matrix (see below), so the analyzer and the suite optimizer
+//     (optimize.hpp) agree with each other and with the engine's reported
+//     metric bit for bit.
 //   * SuiteAnalyzer — per-test coverage contributions: what each test
 //     covers alone, what it adds on top of the rest of the suite
 //     (marginal value), which tests are redundant, and a greedy
@@ -21,6 +27,76 @@
 #include "yardstick/engine.hpp"
 
 namespace yardstick::ys {
+
+/// Per-test Algorithm-1 outcomes for one suite, reduced to the fractional
+/// rule-coverage domain. The reduction is exact: Algorithm 1 is linear in
+/// the trace (T_{A∪B}[r] = T_A[r] ∪ T_B[r] — intersection distributes over
+/// the union of reported header sets, and a state-inspected rule
+/// contributes M[r], which absorbs unions), and the fractional aggregator
+/// only asks whether each rule's covered set is non-empty. So "which rules
+/// does subset S cover" is the OR of the per-test rows, and coverage of S
+/// is a pure function of that count — no further BDD work per subset.
+struct SuiteCoverageMatrix {
+  std::vector<std::string> names;  ///< test i's name
+  /// Wall-clock (steady) seconds of test i's isolated run() only — trace
+  /// bookkeeping and covered-set construction are analysis overhead, not
+  /// part of the cost a prioritized suite would actually pay.
+  std::vector<double> seconds;
+  /// covers[i][r] != 0 iff test i's isolated covered set T_i[r] is
+  /// non-empty (indexed by test, then RuleId).
+  std::vector<std::vector<char>> covers;
+  /// vacuous[r] != 0 iff rule r's disjoint match set is empty (shadowed or
+  /// unreachable); the fraction measure counts such rules as covered no
+  /// matter what the suite does.
+  std::vector<char> vacuous;
+  size_t rule_count = 0;     ///< total rules (both tables, every device)
+  size_t vacuous_count = 0;  ///< rules with vacuous[r] set
+  /// True when a resource budget degraded any underlying computation; all
+  /// covers[] rows are then lower bounds (missing rules read as uncovered).
+  bool truncated = false;
+
+  [[nodiscard]] size_t test_count() const { return names.size(); }
+
+  /// Fractional rule coverage of a subset covering `covered_rules`
+  /// non-vacuous rules — the same fold the fractional aggregator performs,
+  /// so the double is bit-identical to the engine's.
+  [[nodiscard]] double coverage_of(size_t covered_rules) const {
+    if (rule_count == 0) return 1.0;
+    return static_cast<double>(vacuous_count + covered_rules) /
+           static_cast<double>(rule_count);
+  }
+
+  /// Number of non-vacuous rules covered by test i alone.
+  [[nodiscard]] size_t covered_by(size_t i) const;
+};
+
+/// Runs every test of `suite` in isolation and reduces each run's covered
+/// sets to the boolean rows above. Cost: n test runs + n covered-set
+/// builds against `transfer.index()` — not O(n^2): every subset evaluation
+/// downstream is pure integer work on the matrix.
+///
+/// With `threads` > 1 the isolated runs themselves fan out across a
+/// per-worker BddManager pool (the §8 sharding idiom, lifted from rules to
+/// whole tests): each worker owns a private manager, match-set index and
+/// transfer, and tests are pulled off a shared queue. The matrix rows are
+/// set-emptiness facts about canonically-constructed BDDs, which no
+/// manager renumbering can change — so the matrix, and everything derived
+/// from it, is bit-identical at any thread count (`seconds` carries real
+/// wall-clock and is exempt, which is why prioritization is excluded from
+/// golden comparisons). Contract on the suite: at `threads` > 1 a test
+/// must derive all symbolic state from the transfer it is handed (every
+/// test in src/nettest does); a test closing over PacketSets bound to the
+/// caller's manager requires `threads` == 1. Worker index builds charge
+/// `budget`, so a budgeted run trips earlier at higher thread counts.
+/// This is deliberately outside the incremental cache (DESIGN.md §11):
+/// every per-test trace has a distinct content key, so caching would churn
+/// the artifact without ever producing a warm hit.
+///
+/// `budget` (non-owning, may be null) bounds the work; a budget tripping
+/// mid-build surfaces as `truncated` with the rows built so far.
+[[nodiscard]] SuiteCoverageMatrix build_suite_matrix(
+    const dataplane::Transfer& transfer, const nettest::TestSuite& suite,
+    const ResourceBudget* budget = nullptr, unsigned threads = 1);
 
 struct TestContribution {
   std::string name;
@@ -46,7 +122,7 @@ struct SuiteAnalysis {
   /// Fractional rule coverage of the whole suite.
   double full = 0.0;
   /// Wall-clock (steady) seconds the whole analysis took, including the
-  /// O(n^2) leave-one-out and greedy passes.
+  /// per-test matrix build and the leave-one-out and greedy passes.
   double analyze_seconds = 0.0;
   /// True when a resource budget degraded any underlying coverage
   /// computation: every number above is then a lower bound, and marginals
@@ -58,34 +134,29 @@ class SuiteAnalyzer {
  public:
   /// `budget` (non-owning, may be null; must outlive the analyzer) bounds
   /// every per-test coverage computation; a tripped budget surfaces as
-  /// SuiteAnalysis::truncated instead of an exception.
+  /// SuiteAnalysis::truncated instead of an exception. `threads` > 1
+  /// shards each per-test covered-set build across that many workers
+  /// (0 = one per hardware thread) with bit-identical results.
   SuiteAnalyzer(bdd::BddManager& mgr, const net::Network& network,
-                const ResourceBudget* budget = nullptr)
-      : mgr_(mgr), network_(network), budget_(budget) {
+                const ResourceBudget* budget = nullptr, unsigned threads = 1)
+      : mgr_(mgr), network_(network), budget_(budget), threads_(threads) {
     if (budget != nullptr) mgr.set_budget(budget);
   }
 
-  /// Runs every test of `suite` in isolation (each gets its own trace)
-  /// and computes contributions against fractional rule coverage.
-  /// Cost: O(n) test runs + O(n^2) covered-set computations.
-  ///
-  /// Each evaluation builds fresh match/covered sets directly — serial,
-  /// and deliberately outside the incremental cache (DESIGN.md §11):
-  /// every leave-one-out trace has a distinct content key, so caching
-  /// them would churn the artifact without ever producing a warm hit.
-  /// `EngineOptions` (threads, cache_dir) therefore does not apply here;
-  /// only the constructor's ResourceBudget bounds the work.
+  /// Builds the suite's coverage matrix (one isolated run + covered-set
+  /// build per test) and computes contributions against fractional rule
+  /// coverage. The leave-one-out marginals and the greedy ordering are
+  /// integer folds over the matrix, so the analysis is bit-identical at
+  /// any thread count.
   [[nodiscard]] SuiteAnalysis analyze(const dataplane::Transfer& transfer,
                                       const nettest::TestSuite& suite,
                                       double epsilon = 1e-12) const;
 
  private:
-  [[nodiscard]] double rule_coverage_of(const coverage::CoverageTrace& trace,
-                                        bool* truncated = nullptr) const;
-
   bdd::BddManager& mgr_;
   const net::Network& network_;
   const ResourceBudget* budget_ = nullptr;
+  unsigned threads_ = 1;
 };
 
 /// A synthesized probe for an untested rule.
@@ -101,7 +172,9 @@ struct TestSuggestion {
 /// rules (optionally filtered by device), sample a concrete packet from
 /// the rule's exercisable space — its disjoint match set clipped by the
 /// device's ACL-permitted space. Rules whose exercisable space is empty
-/// (reachable only via state inspection) are skipped.
+/// (reachable only via state inspection) are skipped. The exhaustive,
+/// device-grouped generalization of this lives in optimize.hpp
+/// (build_gap_report).
 ///
 /// Reads the engine's already-built match sets, so it composes with the
 /// full option set the engine was constructed with: under `--cache-dir`

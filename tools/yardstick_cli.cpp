@@ -53,6 +53,7 @@
 #include "service/signal.hpp"
 #include "yardstick/analysis.hpp"
 #include "yardstick/engine.hpp"
+#include "yardstick/optimize.hpp"
 #include "yardstick/json.hpp"
 #include "yardstick/persist.hpp"
 
@@ -127,6 +128,11 @@ struct CliOptions {
   int random_links = 0;          // generate N random link-down scenarios
   uint64_t scenario_seed = 1;    // PRNG seed for --random-links
   int links_per_scenario = 1;    // failed links per random scenario
+  // Optimize mode (the `optimize` subcommand):
+  bool minimize = false;         // greedy set-cover suite minimization
+  bool prioritize = false;       // cost-aware ordering + coverage/cost curve
+  bool gap_report = false;       // exhaustive gap witnesses
+  double min_coverage = 1.0;     // minimization slack knob (fraction of full)
 };
 
 int usage(const char* argv0) {
@@ -166,8 +172,18 @@ int usage(const char* argv0) {
                "  --scenario-spec FILE named device/link failure sets (see DESIGN.md)\n"
                "  --random-links N     N seeded random link-down scenarios instead\n"
                "  --seed S             PRNG seed for --random-links (default 1)\n"
-               "  --links-per-scenario L  failed links per random scenario (default 1)\n",
-               argv0, argv0, argv0);
+               "  --links-per-scenario L  failed links per random scenario (default 1)\n"
+               "Optimize mode (suite minimization / prioritization / gap witnesses,\n"
+               "DESIGN.md §14):\n"
+               "  %s optimize <topology> [options] --minimize [--min-coverage F]\n"
+               "  %s optimize <topology> [options] --prioritize --gap-report --json\n"
+               "  --minimize           smallest subset preserving full-suite coverage\n"
+               "  --min-coverage F     keep >= F of the full suite's fractional rule\n"
+               "                       coverage, F in (0,1] (default 1.0 = exact)\n"
+               "  --prioritize         marginal-coverage-per-second order + cost curve\n"
+               "  --gap-report         witness packet (or state-only marker) for every\n"
+               "                       uncovered rule, grouped by device\n",
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -271,6 +287,17 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       opts.scenario_seed = static_cast<uint64_t>(v);
     } else if (arg == "--links-per-scenario") {
       if (!next_int(opts.links_per_scenario)) return std::nullopt;
+    } else if (arg == "--minimize") {
+      opts.minimize = true;
+    } else if (arg == "--prioritize") {
+      opts.prioritize = true;
+    } else if (arg == "--gap-report") {
+      opts.gap_report = true;
+    } else if (arg == "--min-coverage") {
+      if (i + 1 >= argc || !parse_f64(argv[++i], opts.min_coverage) ||
+          opts.min_coverage <= 0.0 || opts.min_coverage > 1.0) {
+        return std::nullopt;
+      }
     } else {
       return std::nullopt;
     }
@@ -436,7 +463,8 @@ int run_impl(const CliOptions& opts) {
       }
     }
     if (opts.analyze && !opts.json) {
-      const ys::SuiteAnalyzer analyzer(mgr, *network, budgeted ? &budget : nullptr);
+      const ys::SuiteAnalyzer analyzer(mgr, *network, budgeted ? &budget : nullptr,
+                                       opts.threads);
       const ys::SuiteAnalysis analysis = analyzer.analyze(transfer, suite);
       if (analysis.truncated) {
         std::fprintf(stderr, "warning: budget exhausted; suite analysis is partial\n");
@@ -597,6 +625,103 @@ int run_scenarios(int argc, char** argv) {
     std::printf("%s\n", scenario::report_to_json(report).c_str());
   } else {
     std::printf("%s", report.to_text().c_str());
+  }
+  return 0;
+}
+
+// --- optimize mode -------------------------------------------------------
+
+/// `yardstick optimize <topology> [...] --minimize|--prioritize|--gap-report`
+///
+/// Reuses the main option grammar (argv[0] is skipped by parse()). Runs the
+/// suite twice over the same match-set index: once per-test in isolation
+/// (the coverage matrix the optimizers fold over) and once merged (the
+/// engine the gap report and the recomputation cross-check read).
+int run_optimize(int argc, char** argv) {
+  const std::optional<CliOptions> parsed = parse(argc - 1, argv + 1);
+  if (!parsed) return usage(argv[0]);
+  const CliOptions& opts = *parsed;
+  if (!opts.minimize && !opts.prioritize && !opts.gap_report) {
+    std::fprintf(stderr,
+                 "error: optimize needs at least one of --minimize / --prioritize / "
+                 "--gap-report\n");
+    return usage(argv[0]);
+  }
+
+  BuiltTopology built;
+  build_topology(opts, built);
+  net::Network* network = built.network;
+  if (!built.state_loaded) {
+    routing::FibBuilder::compute_and_build(*network, *built.routing);
+    install_post_fib_state(opts, built, *network, *built.routing);
+  }
+  if (!opts.json) std::printf("%s\n", network->summary().c_str());
+
+  ys::ResourceBudget budget;
+  if (opts.deadline_s > 0.0) budget.with_deadline(opts.deadline_s);
+  if (opts.max_bdd_nodes > 0) budget.with_max_bdd_nodes(opts.max_bdd_nodes);
+  const bool budgeted = opts.deadline_s > 0.0 || opts.max_bdd_nodes > 0;
+
+  bdd::BddManager mgr(packet::kNumHeaderBits);
+  if (budgeted) mgr.set_budget(&budget);
+  const dataplane::MatchSetIndex match_sets(mgr, *network,
+                                            budgeted ? &budget : nullptr);
+  const dataplane::Transfer transfer(match_sets);
+  const std::unordered_set<net::DeviceId> excluded(
+      built.routing->no_default_devices.begin(),
+      built.routing->no_default_devices.end());
+  const nettest::TestSuite suite = build_suite(opts, excluded);
+
+  // Per-test coverage matrix: the substrate minimization/prioritization
+  // fold over (bit-identical at any --threads value).
+  const ys::SuiteCoverageMatrix matrix =
+      ys::build_suite_matrix(transfer, suite, budgeted ? &budget : nullptr,
+                             opts.threads);
+
+  // Merged full-suite run for the engine-side artifacts.
+  ys::CoverageTracker tracker;
+  (void)suite.run_all(transfer, tracker);
+  const ys::CoverageEngine engine(
+      mgr, *network, tracker.trace(),
+      ys::EngineOptions{budgeted ? &budget : nullptr, opts.threads, opts.cache_dir,
+                        opts.gc_threshold});
+
+  std::optional<ys::MinimizeResult> minimized;
+  std::optional<ys::PrioritizeResult> prioritized;
+  std::optional<ys::GapReport> gaps;
+  if (opts.minimize) {
+    minimized = ys::minimize_suite(matrix, opts.min_coverage);
+    // End-to-end cross-check: re-run only the retained tests and push the
+    // merged trace through a fresh engine — the recomputed fractional rule
+    // coverage must equal the full suite's bit-for-bit at min-coverage 1.
+    ys::CoverageTracker subset_tracker;
+    for (const ys::SelectedTest& s : minimized->selected) {
+      (void)suite.test(s.index).run(transfer, subset_tracker);
+    }
+    const ys::CoverageEngine subset_engine(
+        mgr, *network, subset_tracker.trace(),
+        ys::EngineOptions{budgeted ? &budget : nullptr, opts.threads, "",
+                          opts.gc_threshold});
+    minimized->recomputed_full = engine.metrics().rule_fractional;
+    minimized->recomputed_subset = subset_engine.metrics().rule_fractional;
+  }
+  if (opts.prioritize) prioritized = ys::prioritize_suite(matrix);
+  if (opts.gap_report) gaps = ys::build_gap_report(engine);
+
+  const bool truncated = matrix.truncated || engine.truncated();
+  if (truncated) {
+    std::fprintf(stderr, "warning: budget exhausted; optimization results are partial\n");
+  }
+  if (opts.json) {
+    std::printf("%s\n",
+                ys::optimize_to_json(matrix, minimized ? &*minimized : nullptr,
+                                     prioritized ? &*prioritized : nullptr,
+                                     gaps ? &*gaps : nullptr)
+                    .c_str());
+  } else {
+    if (minimized) std::printf("%s", minimized->to_text(matrix).c_str());
+    if (prioritized) std::printf("%s", prioritized->to_text().c_str());
+    if (gaps) std::printf("%s", gaps->to_text().c_str());
   }
   return 0;
 }
@@ -961,6 +1086,7 @@ int main(int argc, char** argv) {
       if (cmd == "ingest") return run_ingest(argc, argv);
       if (cmd == "ingest-replay") return run_ingest_replay(argc, argv);
       if (cmd == "scenarios") return run_scenarios(argc, argv);
+      if (cmd == "optimize") return run_optimize(argc, argv);
     } catch (const ys::StatusError& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return exit_code_for(e.code());
